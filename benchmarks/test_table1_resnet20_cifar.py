@@ -1,0 +1,66 @@
+"""Table I — ResNet-20 on the CIFAR-10 stand-in.
+
+Paper rows (per activation precision group): FP, LQ-Nets, PACT, DoReFa, BSQ,
+CSQ-T1/T2/T3.  The bench regenerates one row per method at each activation
+precision in {32, 3, 2} and prints the same columns (W-Bits, Comp(×), Acc).
+
+Qualitative claims checked:
+* CSQ rows reach a higher compression ratio than the uniform 3-bit baselines
+  (mixed precision compresses below the uniform target).
+* Every quantized row stays far above chance accuracy.
+"""
+
+import pytest
+
+from benchmarks.common import (
+    bench_scale,
+    fp_result,
+    print_table,
+    run_bsq,
+    run_csq,
+    run_uniform,
+)
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_resnet20_cifar(benchmark):
+    def build_table():
+        results = [fp_result("resnet20", "cifar")]
+        # Full-precision activations group.
+        results.append(run_uniform("resnet20", "cifar", "lqnets", 3, act_bits=32))
+        results.append(run_bsq("resnet20", "cifar", act_bits=32)[0])
+        results.append(run_csq("resnet20", "cifar", 2.0, act_bits=32, label="CSQ T2")[0])
+        # 3-bit activations group.
+        results.append(run_uniform("resnet20", "cifar", "dorefa", 3, act_bits=3))
+        results.append(run_uniform("resnet20", "cifar", "pact", 3, act_bits=3))
+        results.append(run_csq("resnet20", "cifar", 3.0, act_bits=3, label="CSQ T3")[0])
+        # 2-bit activations group.
+        results.append(run_uniform("resnet20", "cifar", "ste", 2, act_bits=2, label="LQ-Nets-2b(ste)"))
+        results.append(run_csq("resnet20", "cifar", 2.0, act_bits=2, label="CSQ T2 (A2)")[0])
+        return results
+
+    results = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    print_table("Table I: ResNet-20 on CIFAR-10 stand-in", results)
+
+    fp_accuracy = results[0].accuracy
+    csq_rows = [r for r in results if r.method.startswith("CSQ")]
+    uniform3 = [r for r in results if r.weight_bits == "3"]
+
+    # Chance on the 10-class task is 0.1; every quantized row must beat it.
+    # (Rows with 2-3 bit activations degrade substantially at the short CPU
+    # schedule — see EXPERIMENTS.md — so the floor here is deliberately loose.)
+    assert all(r.accuracy > 0.12 for r in results), "a quantized row collapsed to chance"
+    # The headline full-precision-activation CSQ row stays close to FP.
+    csq_fp_act = next(r for r in results if r.method == "CSQ T2")
+    assert csq_fp_act.accuracy > fp_accuracy - 0.2
+    # CSQ targets below 3 bits must compress more than the uniform 3-bit rows.
+    if uniform3:
+        best_uniform_comp = max(r.compression for r in uniform3)
+        assert any(r.compression > best_uniform_comp for r in csq_rows)
+    # CSQ precision lands near its target.
+    for row in csq_rows:
+        target = float(row.method.split("T")[1].split()[0].strip("( )")) if "T" in row.method else None
+        if target:
+            assert abs(row.average_precision - target) < 1.5
+    # The FP row is a sane reference.
+    assert fp_accuracy > 0.5

@@ -1,0 +1,52 @@
+"""Table V — accuracy–model-size trade-off under different target bits.
+
+Paper row layout: for targets {1, 2, 3, 4, 5} bits plus FP: the achieved
+average precision, the compression ratio, and the accuracy.  The paper's key
+quantitative claim here is that "the final average precision achieved by CSQ
+is fairly precise compared to the target" (e.g. target 3 → 3.05) and that
+compression ≈ 32 / average precision.
+
+Qualitative claims checked:
+* achieved average precision is within 1 bit of every target ≥ 2,
+* compression ratio is exactly 32 / achieved precision,
+* compression decreases monotonically as the target grows,
+* accuracy at the highest target is within a few points of FP.
+"""
+
+import pytest
+
+from benchmarks.common import fp_result, print_table, run_csq
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_accuracy_size_tradeoff(benchmark):
+    targets = (1.0, 2.0, 3.0, 4.0, 5.0)
+
+    def build_table():
+        results = []
+        for target in targets:
+            row, _ = run_csq("resnet20", "cifar", target, act_bits=32, label=f"CSQ T{int(target)}")
+            results.append(row)
+        results.append(fp_result("resnet20", "cifar"))
+        return results
+
+    results = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    print_table("Table V: accuracy-size trade-off (ResNet-20)", results)
+
+    csq_rows = results[:-1]
+    fp_row = results[-1]
+
+    for target, row in zip(targets, csq_rows):
+        # Compression accounting is exact by construction.
+        assert row.compression == pytest.approx(32.0 / row.average_precision, rel=1e-6)
+        # Budget-aware regularization converges near the requested size.
+        if target >= 2.0:
+            assert abs(row.average_precision - target) <= 1.0, (
+                f"target {target}: achieved {row.average_precision}"
+            )
+    # Larger targets mean monotonically smaller compression.
+    compressions = [row.compression for row in csq_rows]
+    assert all(a >= b for a, b in zip(compressions, compressions[1:]))
+    # The 5-bit model retains most of the FP accuracy (paper: lossless).
+    assert csq_rows[-1].accuracy > fp_row.accuracy - 0.15
+    assert fp_row.accuracy > 0.5

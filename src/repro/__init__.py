@@ -1,0 +1,33 @@
+"""repro — reproduction of CSQ (DAC 2023).
+
+CSQ: Growing Mixed-Precision Quantization Scheme with Bi-level Continuous
+Sparsification (Xiao, Yang, Dong, Keutzer, Du, Zhang).
+
+Package layout
+--------------
+``repro.autograd`` / ``repro.nn`` / ``repro.optim``
+    The deep-learning substrate (NumPy autodiff, layers, optimizers) that the
+    paper implicitly depends on via PyTorch.
+``repro.data`` / ``repro.models``
+    Synthetic CIFAR-10 / ImageNet stand-ins and the ResNet / VGG model
+    families evaluated in the paper.
+``repro.quant``
+    Uniform quantization substrate and baselines (STE QAT, DoReFa, PACT,
+    LQ-Nets-style learned quantization).
+``repro.csq``
+    The paper's contribution: bi-level continuous sparsification layers,
+    budget-aware regularization, and the Algorithm-1 trainer.
+``repro.baselines``
+    Mixed-precision baselines compared against in the tables (BSQ,
+    HAWQ-style sensitivity assignment, HAQ-like search, STE-Uniform).
+``repro.analysis`` / ``repro.training``
+    Model-size accounting, Hessian sensitivity, experiment runner shared by
+    the benchmark harnesses.
+"""
+
+__version__ = "0.1.0"
+
+from repro.autograd import Tensor, no_grad
+from repro import nn, optim
+
+__all__ = ["Tensor", "no_grad", "nn", "optim", "__version__"]

@@ -1,0 +1,19 @@
+"""Analysis utilities: model-size accounting, Hessian sensitivity, reporting."""
+
+from repro.analysis.model_size import (
+    quantizable_layer_sizes,
+    fp32_model_bits,
+    compression_ratio,
+)
+from repro.analysis.sensitivity import layer_quantization_errors
+from repro.analysis.reporting import format_table, format_series, dump_results
+
+__all__ = [
+    "quantizable_layer_sizes",
+    "fp32_model_bits",
+    "compression_ratio",
+    "layer_quantization_errors",
+    "format_table",
+    "format_series",
+    "dump_results",
+]

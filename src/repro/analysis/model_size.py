@@ -1,0 +1,38 @@
+"""Model-size accounting shared by the tables' "Comp(×)" columns."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro import nn
+from repro.nn.module import Module
+from repro.quant.scheme import FP32_BITS
+
+
+def quantizable_layer_sizes(model: Module) -> Dict[str, int]:
+    """``{layer name: weight element count}`` for every Conv2d/Linear layer.
+
+    This is the denominator of the compression-ratio accounting; batch-norm
+    affine parameters and biases are excluded, as in the paper.
+    """
+    sizes: Dict[str, int] = {}
+    for name, module in model.named_modules():
+        if isinstance(module, (nn.Conv2d, nn.Linear)):
+            sizes[name] = module.weight.size
+    return sizes
+
+
+def fp32_model_bits(layer_sizes: Mapping[str, int]) -> int:
+    """Bits needed to store the full-precision weights of the given layers."""
+    return sum(layer_sizes.values()) * FP32_BITS
+
+
+def compression_ratio(layer_sizes: Mapping[str, int], layer_bits: Mapping[str, float]) -> float:
+    """FP32 size divided by mixed-precision size for the given assignment."""
+    missing = set(layer_sizes) - set(layer_bits)
+    if missing:
+        raise KeyError(f"layer_bits missing entries: {sorted(missing)}")
+    quantized_bits = sum(layer_sizes[name] * layer_bits[name] for name in layer_sizes)
+    if quantized_bits == 0:
+        return float("inf")
+    return fp32_model_bits(layer_sizes) / quantized_bits

@@ -1,0 +1,24 @@
+"""Layer sensitivity proxies used by the search baselines and ablations."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro import nn
+from repro.nn.module import Module
+from repro.quant.functional import quantization_error
+
+
+def layer_quantization_errors(model: Module, bits: int) -> Dict[str, float]:
+    """Per-layer mean-squared quantization error at the given precision.
+
+    A cheap first-order sensitivity proxy: layers whose weights are poorly
+    captured by a ``bits``-bit uniform grid show a larger error.  Used by the
+    HAQ-like greedy search and by the ablation benches to sanity-check the
+    schemes CSQ discovers.
+    """
+    errors: Dict[str, float] = {}
+    for name, module in model.named_modules():
+        if isinstance(module, (nn.Conv2d, nn.Linear)):
+            errors[name] = quantization_error(module.weight.data, bits)
+    return errors

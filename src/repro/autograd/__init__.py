@@ -1,0 +1,35 @@
+"""Reverse-mode automatic differentiation on NumPy arrays.
+
+This subpackage provides the numerical substrate that the rest of the
+reproduction is built on: a :class:`~repro.autograd.tensor.Tensor` type that
+records a dynamic computation graph and supports ``backward()``, plus the
+primitive operations (arithmetic, reductions, matmul, convolution, pooling,
+activations) with hand-written gradient rules.
+
+The design intentionally mirrors the subset of PyTorch autograd that the CSQ
+paper relies on, so that the CSQ method (which is purely an
+optimization-level technique) exercises the same mathematics as the original
+implementation.
+
+Public API
+----------
+``Tensor``
+    Array-with-gradient type; build graphs by calling ops on it.
+``no_grad``
+    Context manager that disables graph construction.
+``gradcheck``
+    Finite-difference gradient checking utility used throughout the tests.
+"""
+
+from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled
+from repro.autograd import ops
+from repro.autograd.grad_check import gradcheck, numerical_gradient
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "ops",
+    "gradcheck",
+    "numerical_gradient",
+]

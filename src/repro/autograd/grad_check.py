@@ -1,0 +1,78 @@
+"""Finite-difference gradient checking.
+
+These utilities back the test suite: every primitive op and every layer is
+validated against a central-difference numerical gradient.  They are exported
+as part of the public API because downstream users extending the layer
+library (e.g. with new quantizer parameterizations) need the same check.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def numerical_gradient(
+    func: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    index: int,
+    eps: float = 1e-4,
+) -> np.ndarray:
+    """Central-difference gradient of ``sum(func(*inputs))`` w.r.t. ``inputs[index]``.
+
+    The function output is reduced with ``sum`` so that the numerical gradient
+    is comparable with the analytic gradient obtained from
+    ``func(*inputs).sum().backward()``.
+    """
+    target = inputs[index]
+    grad = np.zeros_like(target.data, dtype=np.float64)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(func(*inputs).data.sum())
+        flat[i] = original - eps
+        minus = float(func(*inputs).data.sum())
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def gradcheck(
+    func: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    eps: float = 1e-3,
+    atol: float = 1e-2,
+    rtol: float = 1e-2,
+) -> bool:
+    """Check analytic gradients of ``func`` against finite differences.
+
+    Inputs must be float64 tensors with ``requires_grad=True`` for a reliable
+    comparison; float32 is accepted but needs looser tolerances.
+
+    Returns ``True`` when every gradient matches; raises ``AssertionError``
+    with a diagnostic message otherwise.
+    """
+    for tensor in inputs:
+        tensor.zero_grad()
+    output = func(*inputs)
+    output.sum().backward()
+
+    for idx, tensor in enumerate(inputs):
+        if not tensor.requires_grad:
+            continue
+        analytic = tensor.grad
+        if analytic is None:
+            raise AssertionError(f"input {idx} received no gradient")
+        numeric = numerical_gradient(func, inputs, idx, eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            max_err = np.max(np.abs(analytic - numeric))
+            raise AssertionError(
+                f"gradient mismatch for input {idx}: max abs error {max_err:.3e}\n"
+                f"analytic:\n{analytic}\nnumeric:\n{numeric}"
+            )
+    return True

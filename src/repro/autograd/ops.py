@@ -1,0 +1,676 @@
+"""Primitive differentiable operations.
+
+Every function here takes :class:`~repro.autograd.tensor.Tensor` (or
+array-like) inputs, computes the forward value with NumPy, and registers a
+closure computing the vector-Jacobian product for the backward pass.
+
+The operations cover what the reproduction needs:
+
+* elementwise arithmetic with full broadcasting,
+* reductions (sum/mean/max/min),
+* shape manipulation (reshape/transpose/indexing/concatenate/pad),
+* activations (relu, sigmoid, tanh, softplus),
+* ``matmul`` for linear layers,
+* ``conv2d`` / ``max_pool2d`` / ``avg_pool2d`` implemented with im2col,
+* numerically-stable ``log_softmax`` used by the cross-entropy loss.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.autograd.tensor import ArrayLike, Tensor, ensure_tensor, unbroadcast
+
+# ---------------------------------------------------------------------------
+# Elementwise arithmetic
+# ---------------------------------------------------------------------------
+
+
+def identity(x: ArrayLike) -> Tensor:
+    """Return a graph-participating copy of ``x``."""
+    x = ensure_tensor(x)
+    return Tensor._from_op(x.data.copy(), (x,), lambda g: (g,), "identity")
+
+
+def add(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    out = a.data + b.data
+
+    def backward(grad: np.ndarray):
+        return unbroadcast(grad, a.shape), unbroadcast(grad, b.shape)
+
+    return Tensor._from_op(out, (a, b), backward, "add")
+
+
+def sub(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    out = a.data - b.data
+
+    def backward(grad: np.ndarray):
+        return unbroadcast(grad, a.shape), unbroadcast(-grad, b.shape)
+
+    return Tensor._from_op(out, (a, b), backward, "sub")
+
+
+def mul(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    out = a.data * b.data
+
+    def backward(grad: np.ndarray):
+        return (
+            unbroadcast(grad * b.data, a.shape),
+            unbroadcast(grad * a.data, b.shape),
+        )
+
+    return Tensor._from_op(out, (a, b), backward, "mul")
+
+
+def div(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    out = a.data / b.data
+
+    def backward(grad: np.ndarray):
+        return (
+            unbroadcast(grad / b.data, a.shape),
+            unbroadcast(-grad * a.data / (b.data ** 2), b.shape),
+        )
+
+    return Tensor._from_op(out, (a, b), backward, "div")
+
+
+def neg(x: ArrayLike) -> Tensor:
+    x = ensure_tensor(x)
+    return Tensor._from_op(-x.data, (x,), lambda g: (-g,), "neg")
+
+
+def pow(x: ArrayLike, exponent: float) -> Tensor:  # noqa: A001 - mirrors torch API
+    """Elementwise power with a constant (non-differentiated) exponent."""
+    x = ensure_tensor(x)
+    out = x.data ** exponent
+
+    def backward(grad: np.ndarray):
+        return (grad * exponent * (x.data ** (exponent - 1)),)
+
+    return Tensor._from_op(out, (x,), backward, "pow")
+
+
+def abs(x: ArrayLike) -> Tensor:  # noqa: A001 - mirrors torch API
+    x = ensure_tensor(x)
+    out = np.abs(x.data)
+
+    def backward(grad: np.ndarray):
+        return (grad * np.sign(x.data),)
+
+    return Tensor._from_op(out, (x,), backward, "abs")
+
+
+def exp(x: ArrayLike) -> Tensor:
+    x = ensure_tensor(x)
+    out = np.exp(x.data)
+
+    def backward(grad: np.ndarray):
+        return (grad * out,)
+
+    return Tensor._from_op(out, (x,), backward, "exp")
+
+
+def log(x: ArrayLike) -> Tensor:
+    x = ensure_tensor(x)
+    out = np.log(x.data)
+
+    def backward(grad: np.ndarray):
+        return (grad / x.data,)
+
+    return Tensor._from_op(out, (x,), backward, "log")
+
+
+def sqrt(x: ArrayLike) -> Tensor:
+    x = ensure_tensor(x)
+    out = np.sqrt(x.data)
+
+    def backward(grad: np.ndarray):
+        return (grad * 0.5 / out,)
+
+    return Tensor._from_op(out, (x,), backward, "sqrt")
+
+
+def maximum(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    out = np.maximum(a.data, b.data)
+
+    def backward(grad: np.ndarray):
+        a_mask = (a.data >= b.data).astype(grad.dtype)
+        return (
+            unbroadcast(grad * a_mask, a.shape),
+            unbroadcast(grad * (1.0 - a_mask), b.shape),
+        )
+
+    return Tensor._from_op(out, (a, b), backward, "maximum")
+
+
+def minimum(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    out = np.minimum(a.data, b.data)
+
+    def backward(grad: np.ndarray):
+        a_mask = (a.data <= b.data).astype(grad.dtype)
+        return (
+            unbroadcast(grad * a_mask, a.shape),
+            unbroadcast(grad * (1.0 - a_mask), b.shape),
+        )
+
+    return Tensor._from_op(out, (a, b), backward, "minimum")
+
+
+def where(condition: ArrayLike, a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Differentiable ``np.where``; the condition itself is not differentiated."""
+    cond = ensure_tensor(condition).data.astype(bool)
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    out = np.where(cond, a.data, b.data)
+
+    def backward(grad: np.ndarray):
+        return (
+            None,
+            unbroadcast(np.where(cond, grad, 0.0), a.shape),
+            unbroadcast(np.where(cond, 0.0, grad), b.shape),
+        )
+
+    return Tensor._from_op(out, (ensure_tensor(condition), a, b), backward, "where")
+
+
+def clip(x: ArrayLike, low: float, high: float) -> Tensor:
+    """Clamp with zero gradient outside ``[low, high]`` (hard clip)."""
+    x = ensure_tensor(x)
+    out = np.clip(x.data, low, high)
+
+    def backward(grad: np.ndarray):
+        mask = ((x.data >= low) & (x.data <= high)).astype(grad.dtype)
+        return (grad * mask,)
+
+    return Tensor._from_op(out, (x,), backward, "clip")
+
+
+# ---------------------------------------------------------------------------
+# Activations
+# ---------------------------------------------------------------------------
+
+
+def relu(x: ArrayLike) -> Tensor:
+    x = ensure_tensor(x)
+    out = np.maximum(x.data, 0.0)
+
+    def backward(grad: np.ndarray):
+        return (grad * (x.data > 0.0).astype(grad.dtype),)
+
+    return Tensor._from_op(out, (x,), backward, "relu")
+
+
+def leaky_relu(x: ArrayLike, negative_slope: float = 0.01) -> Tensor:
+    x = ensure_tensor(x)
+    out = np.where(x.data > 0.0, x.data, negative_slope * x.data)
+
+    def backward(grad: np.ndarray):
+        slope = np.where(x.data > 0.0, 1.0, negative_slope).astype(grad.dtype)
+        return (grad * slope,)
+
+    return Tensor._from_op(out, (x,), backward, "leaky_relu")
+
+
+def sigmoid(x: ArrayLike) -> Tensor:
+    """Numerically stable logistic sigmoid."""
+    x = ensure_tensor(x)
+    data = x.data
+    out = np.empty_like(data)
+    positive = data >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-data[positive]))
+    exp_x = np.exp(data[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+
+    def backward(grad: np.ndarray):
+        return (grad * out * (1.0 - out),)
+
+    return Tensor._from_op(out, (x,), backward, "sigmoid")
+
+
+def tanh(x: ArrayLike) -> Tensor:
+    x = ensure_tensor(x)
+    out = np.tanh(x.data)
+
+    def backward(grad: np.ndarray):
+        return (grad * (1.0 - out ** 2),)
+
+    return Tensor._from_op(out, (x,), backward, "tanh")
+
+
+def softplus(x: ArrayLike, beta: float = 1.0) -> Tensor:
+    """``log(1 + exp(beta * x)) / beta`` computed stably."""
+    x = ensure_tensor(x)
+    z = beta * x.data
+    out = (np.maximum(z, 0.0) + np.log1p(np.exp(-np.abs(z)))) / beta
+
+    def backward(grad: np.ndarray):
+        sig = 1.0 / (1.0 + np.exp(-np.clip(z, -60.0, 60.0)))
+        return (grad * sig,)
+
+    return Tensor._from_op(out, (x,), backward, "softplus")
+
+
+# ---------------------------------------------------------------------------
+# Reductions
+# ---------------------------------------------------------------------------
+
+
+def _normalize_axis(axis, ndim: int) -> Optional[Tuple[int, ...]]:
+    if axis is None:
+        return None
+    if isinstance(axis, int):
+        axis = (axis,)
+    return tuple(a % ndim for a in axis)
+
+
+def sum(x: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    x = ensure_tensor(x)
+    axis_n = _normalize_axis(axis, x.ndim)
+    out = x.data.sum(axis=axis_n, keepdims=keepdims)
+
+    def backward(grad: np.ndarray):
+        g = grad
+        if axis_n is not None and not keepdims:
+            shape = list(x.shape)
+            for a in axis_n:
+                shape[a] = 1
+            g = g.reshape(shape)
+        return (np.broadcast_to(g, x.shape).copy(),)
+
+    return Tensor._from_op(np.asarray(out), (x,), backward, "sum")
+
+
+def mean(x: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
+    x = ensure_tensor(x)
+    axis_n = _normalize_axis(axis, x.ndim)
+    out = x.data.mean(axis=axis_n, keepdims=keepdims)
+    if axis_n is None:
+        count = x.size
+    else:
+        count = int(np.prod([x.shape[a] for a in axis_n]))
+
+    def backward(grad: np.ndarray):
+        g = grad / count
+        if axis_n is not None and not keepdims:
+            shape = list(x.shape)
+            for a in axis_n:
+                shape[a] = 1
+            g = g.reshape(shape)
+        return (np.broadcast_to(g, x.shape).copy(),)
+
+    return Tensor._from_op(np.asarray(out), (x,), backward, "mean")
+
+
+def _minmax_reduce(x: Tensor, axis, keepdims: bool, mode: str) -> Tensor:
+    axis_n = _normalize_axis(axis, x.ndim)
+    reducer = np.max if mode == "max" else np.min
+    out = reducer(x.data, axis=axis_n, keepdims=keepdims)
+
+    def backward(grad: np.ndarray):
+        out_keep = reducer(x.data, axis=axis_n, keepdims=True)
+        mask = (x.data == out_keep).astype(grad.dtype)
+        # Split gradient equally among ties (matches subgradient convention).
+        counts = mask.sum(axis=axis_n, keepdims=True)
+        g = grad
+        if axis_n is not None and not keepdims:
+            shape = list(x.shape)
+            for a in axis_n:
+                shape[a] = 1
+            g = g.reshape(shape)
+        elif axis_n is None:
+            g = np.asarray(g).reshape((1,) * x.ndim)
+        return (mask / counts * g,)
+
+    return Tensor._from_op(np.asarray(out), (x,), backward, mode)
+
+
+def max(x: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    return _minmax_reduce(ensure_tensor(x), axis, keepdims, "max")
+
+
+def min(x: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    return _minmax_reduce(ensure_tensor(x), axis, keepdims, "min")
+
+
+# ---------------------------------------------------------------------------
+# Shape manipulation
+# ---------------------------------------------------------------------------
+
+
+def reshape(x: ArrayLike, shape: Sequence[int]) -> Tensor:
+    x = ensure_tensor(x)
+    out = x.data.reshape(shape)
+
+    def backward(grad: np.ndarray):
+        return (grad.reshape(x.shape),)
+
+    return Tensor._from_op(out, (x,), backward, "reshape")
+
+
+def transpose(x: ArrayLike, axes: Optional[Sequence[int]] = None) -> Tensor:
+    x = ensure_tensor(x)
+    out = np.transpose(x.data, axes)
+    if axes is None:
+        inverse = None
+    else:
+        inverse = np.argsort(axes)
+
+    def backward(grad: np.ndarray):
+        return (np.transpose(grad, inverse),)
+
+    return Tensor._from_op(out, (x,), backward, "transpose")
+
+
+def getitem(x: ArrayLike, index) -> Tensor:
+    x = ensure_tensor(x)
+    out = x.data[index]
+
+    def backward(grad: np.ndarray):
+        full = np.zeros_like(x.data)
+        np.add.at(full, index, grad)
+        return (full,)
+
+    return Tensor._from_op(np.asarray(out), (x,), backward, "getitem")
+
+
+def concatenate(tensors: Sequence[ArrayLike], axis: int = 0) -> Tensor:
+    tensors = [ensure_tensor(t) for t in tensors]
+    out = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    boundaries = np.cumsum(sizes)[:-1]
+
+    def backward(grad: np.ndarray):
+        return tuple(np.split(grad, boundaries, axis=axis))
+
+    return Tensor._from_op(out, tuple(tensors), backward, "concatenate")
+
+
+def stack(tensors: Sequence[ArrayLike], axis: int = 0) -> Tensor:
+    tensors = [ensure_tensor(t) for t in tensors]
+    out = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray):
+        pieces = np.split(grad, len(tensors), axis=axis)
+        return tuple(np.squeeze(p, axis=axis) for p in pieces)
+
+    return Tensor._from_op(out, tuple(tensors), backward, "stack")
+
+
+def pad2d(x: ArrayLike, padding: Union[int, Tuple[int, int]]) -> Tensor:
+    """Zero-pad the last two (spatial) dimensions of a 4-D NCHW tensor."""
+    x = ensure_tensor(x)
+    if isinstance(padding, int):
+        ph = pw = padding
+    else:
+        ph, pw = padding
+    if ph == 0 and pw == 0:
+        return identity(x)
+    out = np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+
+    def backward(grad: np.ndarray):
+        h, w = x.shape[2], x.shape[3]
+        return (grad[:, :, ph:ph + h, pw:pw + w],)
+
+    return Tensor._from_op(out, (x,), backward, "pad2d")
+
+
+# ---------------------------------------------------------------------------
+# Linear algebra
+# ---------------------------------------------------------------------------
+
+
+def matmul(a: ArrayLike, b: ArrayLike) -> Tensor:
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    out = a.data @ b.data
+
+    def backward(grad: np.ndarray):
+        if a.ndim == 1 and b.ndim == 1:
+            return grad * b.data, grad * a.data
+        a_data, b_data = a.data, b.data
+        if a.ndim == 1:
+            a_data = a_data[None, :]
+        if b.ndim == 1:
+            b_data = b_data[:, None]
+        g = grad
+        if a.ndim == 1:
+            g = g[..., None, :] if g.ndim >= 1 else g
+        if b.ndim == 1:
+            g = g[..., :, None]
+        grad_a = g @ np.swapaxes(b_data, -1, -2)
+        grad_b = np.swapaxes(a_data, -1, -2) @ g
+        if a.ndim == 1:
+            grad_a = grad_a.reshape(a.shape) if grad_a.size == a.data.size else unbroadcast(
+                grad_a.sum(axis=-2), a.shape
+            )
+        else:
+            grad_a = unbroadcast(grad_a, a.shape)
+        if b.ndim == 1:
+            grad_b = grad_b.reshape(b.shape) if grad_b.size == b.data.size else unbroadcast(
+                grad_b.sum(axis=-1), b.shape
+            )
+        else:
+            grad_b = unbroadcast(grad_b, b.shape)
+        return grad_a, grad_b
+
+    return Tensor._from_op(out, (a, b), backward, "matmul")
+
+
+# ---------------------------------------------------------------------------
+# Softmax family
+# ---------------------------------------------------------------------------
+
+
+def log_softmax(x: ArrayLike, axis: int = -1) -> Tensor:
+    x = ensure_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - log_sum
+    softmax_value = np.exp(out)
+
+    def backward(grad: np.ndarray):
+        return (grad - softmax_value * grad.sum(axis=axis, keepdims=True),)
+
+    return Tensor._from_op(out, (x,), backward, "log_softmax")
+
+
+def softmax(x: ArrayLike, axis: int = -1) -> Tensor:
+    x = ensure_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp_x = np.exp(shifted)
+    out = exp_x / exp_x.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray):
+        dot = (grad * out).sum(axis=axis, keepdims=True)
+        return (out * (grad - dot),)
+
+    return Tensor._from_op(out, (x,), backward, "softmax")
+
+
+# ---------------------------------------------------------------------------
+# Convolution / pooling (im2col)
+# ---------------------------------------------------------------------------
+
+
+def _im2col_indices(
+    x_shape: Tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    padding: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+    batch, channels, height, width = x_shape
+    out_h = (height + 2 * padding - kernel_h) // stride + 1
+    out_w = (width + 2 * padding - kernel_w) // stride + 1
+
+    i0 = np.repeat(np.arange(kernel_h), kernel_w)
+    i0 = np.tile(i0, channels)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kernel_w), kernel_h * channels)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(channels), kernel_h * kernel_w).reshape(-1, 1)
+    return k, i, j, out_h, out_w
+
+
+def im2col(x: np.ndarray, kernel_h: int, kernel_w: int, stride: int, padding: int) -> np.ndarray:
+    """Rearrange NCHW image patches into columns of shape (C*kh*kw, N*out_h*out_w)."""
+    padded = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    k, i, j, _, _ = _im2col_indices(x.shape, kernel_h, kernel_w, stride, padding)
+    cols = padded[:, k, i, j]
+    channels = x.shape[1]
+    cols = cols.transpose(1, 2, 0).reshape(kernel_h * kernel_w * channels, -1)
+    return cols
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add column values back into images."""
+    batch, channels, height, width = x_shape
+    padded = np.zeros(
+        (batch, channels, height + 2 * padding, width + 2 * padding), dtype=cols.dtype
+    )
+    k, i, j, _, _ = _im2col_indices(x_shape, kernel_h, kernel_w, stride, padding)
+    cols_reshaped = cols.reshape(channels * kernel_h * kernel_w, -1, batch)
+    cols_reshaped = cols_reshaped.transpose(2, 0, 1)
+    np.add.at(padded, (slice(None), k, i, j), cols_reshaped)
+    if padding == 0:
+        return padded
+    return padded[:, :, padding:-padding, padding:-padding]
+
+
+def conv2d(
+    x: ArrayLike,
+    weight: ArrayLike,
+    bias: Optional[ArrayLike] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D cross-correlation over an NCHW batch.
+
+    Parameters
+    ----------
+    x:
+        Input tensor of shape ``(N, C_in, H, W)``.
+    weight:
+        Filter tensor of shape ``(C_out, C_in, kH, kW)``.
+    bias:
+        Optional per-output-channel bias of shape ``(C_out,)``.
+    stride, padding:
+        Integer stride and symmetric zero padding.
+    """
+    x = ensure_tensor(x)
+    weight = ensure_tensor(weight)
+    bias_t = ensure_tensor(bias) if bias is not None else None
+
+    batch, in_channels, height, width = x.shape
+    out_channels, w_in_channels, kernel_h, kernel_w = weight.shape
+    if in_channels != w_in_channels:
+        raise ValueError(
+            f"conv2d channel mismatch: input has {in_channels}, weight expects {w_in_channels}"
+        )
+    out_h = (height + 2 * padding - kernel_h) // stride + 1
+    out_w = (width + 2 * padding - kernel_w) // stride + 1
+
+    cols = im2col(x.data, kernel_h, kernel_w, stride, padding)
+    w_mat = weight.data.reshape(out_channels, -1)
+    out = w_mat @ cols
+    out = out.reshape(out_channels, out_h, out_w, batch).transpose(3, 0, 1, 2)
+    if bias_t is not None:
+        out = out + bias_t.data.reshape(1, out_channels, 1, 1)
+
+    parents = (x, weight) if bias_t is None else (x, weight, bias_t)
+
+    def backward(grad: np.ndarray):
+        grad_flat = grad.transpose(1, 2, 3, 0).reshape(out_channels, -1)
+        grad_weight = (grad_flat @ cols.T).reshape(weight.shape)
+        grad_cols = w_mat.T @ grad_flat
+        grad_x = col2im(grad_cols, x.shape, kernel_h, kernel_w, stride, padding)
+        if bias_t is None:
+            return grad_x, grad_weight
+        grad_bias = grad.sum(axis=(0, 2, 3))
+        return grad_x, grad_weight, grad_bias
+
+    return Tensor._from_op(out.astype(x.dtype, copy=False), parents, backward, "conv2d")
+
+
+def max_pool2d(x: ArrayLike, kernel_size: int, stride: Optional[int] = None) -> Tensor:
+    """Max pooling over non-overlapping (or strided) windows of an NCHW tensor."""
+    x = ensure_tensor(x)
+    stride = stride if stride is not None else kernel_size
+    batch, channels, height, width = x.shape
+    out_h = (height - kernel_size) // stride + 1
+    out_w = (width - kernel_size) // stride + 1
+
+    reshaped = x.data.reshape(batch * channels, 1, height, width)
+    cols = im2col(reshaped, kernel_size, kernel_size, stride, 0)
+    argmax = cols.argmax(axis=0)
+    out = cols[argmax, np.arange(cols.shape[1])]
+    out = out.reshape(out_h, out_w, batch * channels).transpose(2, 0, 1)
+    out = out.reshape(batch, channels, out_h, out_w)
+
+    def backward(grad: np.ndarray):
+        grad_flat = grad.reshape(batch * channels, out_h, out_w)
+        grad_flat = grad_flat.transpose(1, 2, 0).reshape(-1)
+        grad_cols = np.zeros_like(cols)
+        grad_cols[argmax, np.arange(cols.shape[1])] = grad_flat
+        grad_x = col2im(
+            grad_cols, (batch * channels, 1, height, width), kernel_size, kernel_size, stride, 0
+        )
+        return (grad_x.reshape(x.shape),)
+
+    return Tensor._from_op(out, (x,), backward, "max_pool2d")
+
+
+def avg_pool2d(x: ArrayLike, kernel_size: int, stride: Optional[int] = None) -> Tensor:
+    """Average pooling over windows of an NCHW tensor."""
+    x = ensure_tensor(x)
+    stride = stride if stride is not None else kernel_size
+    batch, channels, height, width = x.shape
+    out_h = (height - kernel_size) // stride + 1
+    out_w = (width - kernel_size) // stride + 1
+
+    reshaped = x.data.reshape(batch * channels, 1, height, width)
+    cols = im2col(reshaped, kernel_size, kernel_size, stride, 0)
+    out = cols.mean(axis=0)
+    out = out.reshape(out_h, out_w, batch * channels).transpose(2, 0, 1)
+    out = out.reshape(batch, channels, out_h, out_w)
+    window = kernel_size * kernel_size
+
+    def backward(grad: np.ndarray):
+        grad_flat = grad.reshape(batch * channels, out_h, out_w)
+        grad_flat = grad_flat.transpose(1, 2, 0).reshape(-1)
+        grad_cols = np.repeat(grad_flat[None, :] / window, window, axis=0)
+        grad_x = col2im(
+            grad_cols, (batch * channels, 1, height, width), kernel_size, kernel_size, stride, 0
+        )
+        return (grad_x.reshape(x.shape),)
+
+    return Tensor._from_op(out, (x,), backward, "avg_pool2d")
+
+
+def adaptive_avg_pool2d(x: ArrayLike, output_size: int = 1) -> Tensor:
+    """Adaptive average pooling; only ``output_size=1`` (global pooling) is supported."""
+    if output_size != 1:
+        raise NotImplementedError("Only global average pooling (output_size=1) is supported")
+    x = ensure_tensor(x)
+    out = x.data.mean(axis=(2, 3), keepdims=True)
+    count = x.shape[2] * x.shape[3]
+
+    def backward(grad: np.ndarray):
+        return (np.broadcast_to(grad / count, x.shape).copy(),)
+
+    return Tensor._from_op(out, (x,), backward, "adaptive_avg_pool2d")

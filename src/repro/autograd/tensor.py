@@ -1,0 +1,400 @@
+"""Core ``Tensor`` type for reverse-mode automatic differentiation.
+
+A :class:`Tensor` wraps a ``numpy.ndarray`` and, when ``requires_grad`` is
+set, records the operation that produced it so that :meth:`Tensor.backward`
+can propagate gradients to every leaf tensor in the graph.
+
+The implementation is a dynamic ("define-by-run") graph: every op creates a
+new ``Tensor`` whose ``_parents`` reference its inputs and whose
+``_backward_fn`` computes the local vector-Jacobian product.  ``backward()``
+topologically sorts the graph and accumulates gradients into ``.grad``.
+
+Only the features needed by the reproduction are implemented, but they are
+implemented carefully: full broadcasting support, float32 by default, and
+in-place gradient accumulation so parameters shared between branches (as in
+residual networks) receive correct sums.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
+
+_DEFAULT_DTYPE = np.float32
+
+
+class _GradMode(threading.local):
+    """Thread-local flag controlling whether ops record the graph."""
+
+    def __init__(self) -> None:
+        self.enabled = True
+
+
+_grad_mode = _GradMode()
+
+
+def is_grad_enabled() -> bool:
+    """Return ``True`` when operations record the autograd graph."""
+    return _grad_mode.enabled
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph recording.
+
+    Inside the block every operation behaves as a plain NumPy computation and
+    the resulting tensors have ``requires_grad=False``.  Used by evaluation
+    loops and by the quantization-scheme freezing code.
+    """
+    previous = _grad_mode.enabled
+    _grad_mode.enabled = False
+    try:
+        yield
+    finally:
+        _grad_mode.enabled = previous
+
+
+def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    # Explicit float64 ndarrays are preserved (gradient checking relies on
+    # double precision); Python scalars/lists default to float32.
+    keep_float64 = isinstance(value, np.ndarray) and value.dtype == np.float64
+    array = np.asarray(value, dtype=dtype if dtype is not None else None)
+    if array.dtype == np.float64 and dtype is None and not keep_float64:
+        array = array.astype(_DEFAULT_DTYPE)
+    return array
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so that it has ``shape``.
+
+    Gradients flowing back through broadcast operations have the broadcasted
+    shape; this sums the extra leading axes and the axes that were expanded
+    from size one, undoing the broadcast.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum away prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum axes that were broadcast from size 1.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """N-dimensional array with reverse-mode autodiff support.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to ``numpy.ndarray``.  Python floats/lists are
+        converted to ``float32`` by default.
+    requires_grad:
+        When ``True`` the tensor participates in gradient computation and
+        ``backward()`` will populate ``.grad``.
+    name:
+        Optional human-readable label used in error messages and debugging.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "name", "_parents", "_backward_fn", "_op")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        name: Optional[str] = None,
+    ) -> None:
+        self.data = _as_array(data)
+        if self.data.dtype not in (np.float32, np.float64) and requires_grad:
+            raise TypeError(
+                f"Only floating point tensors can require gradients, got {self.data.dtype}"
+            )
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
+        self.grad: Optional[np.ndarray] = None
+        self.name = name
+        self._parents: Tuple[Tensor, ...] = ()
+        self._backward_fn: Optional[Callable[[np.ndarray], Sequence[Optional[np.ndarray]]]] = None
+        self._op: str = "leaf"
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        from repro.autograd import ops
+
+        return ops.transpose(self)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        label = f", name={self.name!r}" if self.name else ""
+        return f"Tensor({self.data!r}{grad_flag}{label})"
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def _from_op(
+        cls,
+        data: np.ndarray,
+        parents: Tuple["Tensor", ...],
+        backward_fn: Callable[[np.ndarray], Sequence[Optional[np.ndarray]]],
+        op: str,
+    ) -> "Tensor":
+        """Create a non-leaf tensor produced by ``op``.
+
+        ``backward_fn`` receives the upstream gradient and must return one
+        gradient (or ``None``) per parent, already matching each parent's
+        shape.
+        """
+        requires_grad = is_grad_enabled() and any(p.requires_grad for p in parents)
+        out = cls(data, requires_grad=requires_grad)
+        if requires_grad:
+            out._parents = parents
+            out._backward_fn = backward_fn
+            out._op = op
+        return out
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but detached from the graph."""
+        return Tensor(self.data, requires_grad=False, name=self.name)
+
+    def clone(self) -> "Tensor":
+        """Return a copy of this tensor that participates in the graph."""
+        from repro.autograd import ops
+
+        return ops.identity(self)
+
+    def copy_(self, value: ArrayLike) -> "Tensor":
+        """In-place overwrite of ``data`` (does not track gradients)."""
+        array = _as_array(value)
+        self.data = np.array(np.broadcast_to(array, self.data.shape), dtype=self.data.dtype)
+        return self
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to ``None``."""
+        self.grad = None
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a Python float."""
+        return float(self.data.item())
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying NumPy array (shared, not copied)."""
+        return self.data
+
+    def astype(self, dtype) -> "Tensor":
+        return Tensor(self.data.astype(dtype), requires_grad=False)
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Backpropagate gradients from this tensor to all graph leaves.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of some scalar objective with respect to this tensor.
+            Defaults to ``1`` which is only valid for scalar tensors.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("Called backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError(
+                    "backward() without an explicit gradient is only supported for scalars"
+                )
+            grad = np.ones_like(self.data)
+        grad = _as_array(grad).astype(self.data.dtype, copy=False)
+        grad = np.broadcast_to(grad, self.data.shape).copy()
+
+        order = self._topological_order()
+        grads: dict[int, np.ndarray] = {id(self): grad}
+
+        for node in order:
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad and (node._backward_fn is None or node._is_leaf()):
+                if node.grad is None:
+                    node.grad = node_grad.copy()
+                else:
+                    node.grad = node.grad + node_grad
+            if node._backward_fn is None:
+                continue
+            parent_grads = node._backward_fn(node_grad)
+            for parent, parent_grad in zip(node._parents, parent_grads):
+                if parent_grad is None or not parent.requires_grad:
+                    continue
+                parent_grad = parent_grad.astype(parent.data.dtype, copy=False)
+                existing = grads.get(id(parent))
+                if existing is None:
+                    grads[id(parent)] = parent_grad
+                else:
+                    grads[id(parent)] = existing + parent_grad
+
+    def _is_leaf(self) -> bool:
+        return self._backward_fn is None
+
+    def _topological_order(self) -> list:
+        """Return nodes reachable from ``self`` in reverse topological order."""
+        visited: set[int] = set()
+        order: list[Tensor] = []
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        order.reverse()
+        return order
+
+    # ------------------------------------------------------------------
+    # Operator overloads (thin wrappers over repro.autograd.ops)
+    # ------------------------------------------------------------------
+    def _ops(self):
+        from repro.autograd import ops
+
+        return ops
+
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        return self._ops().add(self, other)
+
+    def __radd__(self, other: ArrayLike) -> "Tensor":
+        return self._ops().add(other, self)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self._ops().sub(self, other)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return self._ops().sub(other, self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        return self._ops().mul(self, other)
+
+    def __rmul__(self, other: ArrayLike) -> "Tensor":
+        return self._ops().mul(other, self)
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        return self._ops().div(self, other)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return self._ops().div(other, self)
+
+    def __neg__(self) -> "Tensor":
+        return self._ops().neg(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        return self._ops().pow(self, exponent)
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        return self._ops().matmul(self, other)
+
+    def __getitem__(self, index) -> "Tensor":
+        return self._ops().getitem(self, index)
+
+    # Comparison operators return plain (non-differentiable) tensors.
+    def __gt__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(self.data > _as_array(other))
+
+    def __ge__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(self.data >= _as_array(other))
+
+    def __lt__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(self.data < _as_array(other))
+
+    def __le__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(self.data <= _as_array(other))
+
+    # Convenience reductions / shape ops.
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return self._ops().sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return self._ops().mean(self, axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return self._ops().max(self, axis=axis, keepdims=keepdims)
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return self._ops().min(self, axis=axis, keepdims=keepdims)
+
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return self._ops().reshape(self, shape)
+
+    def transpose(self, axes: Optional[Sequence[int]] = None) -> "Tensor":
+        return self._ops().transpose(self, axes)
+
+    def flatten(self, start_dim: int = 0) -> "Tensor":
+        shape = self.shape[:start_dim] + (-1,)
+        return self._ops().reshape(self, shape)
+
+    def abs(self) -> "Tensor":
+        return self._ops().abs(self)
+
+    def exp(self) -> "Tensor":
+        return self._ops().exp(self)
+
+    def log(self) -> "Tensor":
+        return self._ops().log(self)
+
+    def sqrt(self) -> "Tensor":
+        return self._ops().sqrt(self)
+
+    def sigmoid(self) -> "Tensor":
+        return self._ops().sigmoid(self)
+
+    def tanh(self) -> "Tensor":
+        return self._ops().tanh(self)
+
+    def relu(self) -> "Tensor":
+        return self._ops().relu(self)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        return self._ops().clip(self, low, high)
+
+
+def ensure_tensor(value: ArrayLike) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` (no-op for tensors)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)

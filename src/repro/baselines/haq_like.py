@@ -1,0 +1,103 @@
+"""HAQ-like greedy precision search.
+
+HAQ (Wang et al., 2019) trains a reinforcement-learning agent to pick each
+layer's precision under a hardware budget.  Training an RL agent is outside
+the scope of this reproduction (and the paper only cites HAQ's reported
+numbers), so this module provides the budget-constrained search baseline in
+the same spirit: a greedy search that repeatedly demotes the layer whose
+demotion increases the (proxy) loss the least per bit saved, until the
+average-precision budget is met.
+
+The proxy loss is the layer's weight quantization error weighted by the
+layer's gradient magnitude on a calibration batch — a cheap, deterministic
+stand-in for the RL agent's reward signal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import nn
+from repro.autograd.tensor import Tensor
+from repro.nn import functional as F
+from repro.nn.module import Module
+from repro.quant.functional import quantization_error
+
+
+def _quantizable_layers(model: Module) -> Dict[str, Module]:
+    return {
+        name: module
+        for name, module in model.named_modules()
+        if isinstance(module, (nn.Conv2d, nn.Linear))
+    }
+
+
+def _gradient_magnitudes(
+    model: Module, images: np.ndarray, labels: np.ndarray
+) -> Dict[str, float]:
+    model.zero_grad()
+    logits = model(Tensor(images))
+    loss = F.cross_entropy(logits, labels)
+    loss.backward()
+    magnitudes: Dict[str, float] = {}
+    for name, layer in _quantizable_layers(model).items():
+        grad = layer.weight.grad
+        magnitudes[name] = float(np.abs(grad).mean()) if grad is not None else 0.0
+    return magnitudes
+
+
+def greedy_precision_search(
+    model: Module,
+    images: np.ndarray,
+    labels: np.ndarray,
+    target_average_bits: float,
+    candidate_bits: Sequence[int] = (2, 3, 4, 6, 8),
+) -> Dict[str, int]:
+    """Greedy budget-constrained per-layer precision assignment (HAQ stand-in).
+
+    Parameters
+    ----------
+    model:
+        Pretrained float model used to score candidate demotions.
+    images, labels:
+        A calibration batch used for the gradient-weighted error proxy.
+    target_average_bits:
+        Element-weighted average precision budget.
+    candidate_bits:
+        The discrete precisions a layer may take.
+    """
+    layers = _quantizable_layers(model)
+    if not layers:
+        raise ValueError("Model has no Conv2d/Linear layers to assign precisions to")
+    candidates = sorted(candidate_bits)
+    gradient_weight = _gradient_magnitudes(model, images, labels)
+    sizes = {name: layer.weight.size for name, layer in layers.items()}
+    total_elements = sum(sizes.values())
+    assignment = {name: candidates[-1] for name in layers}
+
+    def average_bits() -> float:
+        return sum(assignment[n] * sizes[n] for n in assignment) / total_elements
+
+    def demotion_cost(name: str) -> float:
+        """Proxy accuracy cost of demoting ``name`` one precision step."""
+        current = assignment[name]
+        lower = candidates[candidates.index(current) - 1]
+        weight = layers[name].weight.data
+        extra_error = quantization_error(weight, lower) - quantization_error(weight, current)
+        return gradient_weight[name] * max(extra_error, 0.0) * sizes[name]
+
+    while average_bits() > target_average_bits:
+        demotable = [n for n in assignment if assignment[n] > candidates[0]]
+        if not demotable:
+            break
+        costs = {}
+        for name in demotable:
+            current = assignment[name]
+            lower = candidates[candidates.index(current) - 1]
+            bits_saved = (current - lower) * sizes[name]
+            costs[name] = demotion_cost(name) / bits_saved
+        victim = min(costs, key=costs.get)
+        assignment[victim] = candidates[candidates.index(assignment[victim]) - 1]
+    return assignment

@@ -1,0 +1,116 @@
+"""Uniform-precision quantization-aware training baselines.
+
+The "STE-Uniform" rows of Table IV (and the LQ-Nets / PACT / DoReFa rows of
+Tables I–III) train a model whose every Conv2d/Linear weight is fake-
+quantized to a fixed precision with straight-through gradients, following
+the implementation of [27] (Polino et al.): the floating-point latent weight
+is linearly quantized in the forward pass and accumulates the unmodified
+gradient in the backward pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro import nn
+from repro.data.dataloader import DataLoader
+from repro.nn.module import Module
+from repro.optim.lr_scheduler import WarmupCosine
+from repro.optim.sgd import SGD
+from repro.quant.act_quant import ActivationQuantizer
+from repro.quant.dorefa import DoReFaWeightQuantizer
+from repro.quant.fake_quant import WeightFakeQuantize
+from repro.quant.lqnets import LQNetsWeightQuantizer
+from repro.quant.pact import PACTActivationQuantizer
+from repro.quant.qconv import QConv2d
+from repro.quant.qlinear import QLinear
+from repro.quant.scheme import QuantizationScheme
+from repro.training.loop import TrainingHistory, evaluate, fit
+
+
+@dataclass
+class UniformQATConfig:
+    """Hyper-parameters for uniform QAT baselines."""
+
+    epochs: int = 20
+    lr: float = 0.1
+    momentum: float = 0.9
+    weight_decay: float = 5e-4
+    warmup_epochs: int = 0
+    weight_bits: int = 3
+    act_bits: int = 32
+    method: str = "ste"  # "ste" | "dorefa" | "pact" | "lqnets"
+
+
+def _make_weight_quantizer(method: str, bits: int) -> Module:
+    if method in ("ste", "pact"):
+        return WeightFakeQuantize(bits=bits)
+    if method == "dorefa":
+        return DoReFaWeightQuantizer(bits=bits)
+    if method == "lqnets":
+        return LQNetsWeightQuantizer(bits=bits)
+    raise ValueError(f"Unknown uniform QAT method {method!r}")
+
+
+def _make_activation_quantizer(method: str, bits: int) -> Module:
+    if bits >= 32:
+        return nn.Identity()
+    if method == "pact":
+        return PACTActivationQuantizer(bits=bits)
+    return ActivationQuantizer(bits=bits, mode="observer")
+
+
+def convert_to_qat(model: Module, config: UniformQATConfig) -> Module:
+    """Replace every Conv2d/Linear with a QAT wrapper of the configured method."""
+
+    def _convert_children(module: Module) -> None:
+        for child_name, child in list(module._modules.items()):
+            if isinstance(child, nn.Conv2d):
+                wrapper = QConv2d.from_float(
+                    child,
+                    _make_weight_quantizer(config.method, config.weight_bits),
+                    _make_activation_quantizer(config.method, config.act_bits),
+                )
+                module.add_module(child_name, wrapper)
+            elif isinstance(child, nn.Linear):
+                wrapper = QLinear.from_float(
+                    child,
+                    _make_weight_quantizer(config.method, config.weight_bits),
+                    _make_activation_quantizer(config.method, config.act_bits),
+                )
+                module.add_module(child_name, wrapper)
+            else:
+                _convert_children(child)
+
+    _convert_children(model)
+    return model
+
+
+def qat_scheme(model: Module) -> QuantizationScheme:
+    """Uniform quantization scheme of a converted QAT model."""
+    scheme = QuantizationScheme()
+    for name, module in model.named_modules():
+        if isinstance(module, (QConv2d, QLinear)):
+            scheme.add_layer(name, module.weight.size, float(module.weight_bits))
+    return scheme
+
+
+def train_uniform_qat(
+    model: Module,
+    train_loader: DataLoader,
+    test_loader: DataLoader,
+    config: Optional[UniformQATConfig] = None,
+) -> Tuple[Module, TrainingHistory, QuantizationScheme]:
+    """Convert ``model`` to uniform QAT and train it; returns model, history, scheme."""
+    config = config or UniformQATConfig()
+    model = convert_to_qat(model, config)
+    optimizer = SGD(
+        model.parameters(),
+        lr=config.lr,
+        momentum=config.momentum,
+        weight_decay=config.weight_decay,
+    )
+    scheduler = WarmupCosine(optimizer, total_epochs=config.epochs, warmup_epochs=config.warmup_epochs)
+    history = fit(model, train_loader, test_loader, optimizer, config.epochs, scheduler=scheduler)
+    return model, history, qat_scheme(model)

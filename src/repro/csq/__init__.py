@@ -1,0 +1,53 @@
+"""CSQ: bi-level continuous sparsification for mixed-precision quantization.
+
+This package implements the paper's contribution:
+
+* :mod:`repro.csq.gates` — the temperature sigmoid gate ``f_beta`` (Eq. 2)
+  and the shared gate state toggled by the trainer,
+* :mod:`repro.csq.temperature` — the exponential temperature schedule
+  ``beta = beta0 * beta_max**(epoch / T)`` of Algorithm 1,
+* :mod:`repro.csq.bitparam` — the bit-level parameterization
+  ``(s, m_p, m_n, m_B)`` and the relaxed weight of Eq. (3)/(4)/(5),
+* :mod:`repro.csq.layers` — ``CSQConv2d`` / ``CSQLinear`` drop-in layers,
+* :mod:`repro.csq.regularizer` — the budget-aware model-size regularization
+  of Eq. (6)/(7),
+* :mod:`repro.csq.precision` — layer precision counting and model-size
+  accounting,
+* :mod:`repro.csq.convert` — float ↔ CSQ ↔ frozen fixed-point conversion,
+* :mod:`repro.csq.trainer` — the Algorithm-1 training loop (CSQ phase plus
+  the optional temperature-rewound finetuning phase).
+"""
+
+from repro.csq.gates import temperature_sigmoid, hard_gate, GateState
+from repro.csq.temperature import ExponentialTemperatureSchedule
+from repro.csq.bitparam import BitParameterization
+from repro.csq.layers import CSQConv2d, CSQLinear
+from repro.csq.regularizer import BudgetAwareRegularizer
+from repro.csq.precision import (
+    layer_precisions,
+    average_precision,
+    model_scheme,
+    csq_layers,
+)
+from repro.csq.convert import convert_to_csq, freeze_model, materialize_quantized
+from repro.csq.trainer import CSQConfig, CSQTrainer
+
+__all__ = [
+    "temperature_sigmoid",
+    "hard_gate",
+    "GateState",
+    "ExponentialTemperatureSchedule",
+    "BitParameterization",
+    "CSQConv2d",
+    "CSQLinear",
+    "BudgetAwareRegularizer",
+    "layer_precisions",
+    "average_precision",
+    "model_scheme",
+    "csq_layers",
+    "convert_to_csq",
+    "freeze_model",
+    "materialize_quantized",
+    "CSQConfig",
+    "CSQTrainer",
+]

@@ -1,0 +1,185 @@
+"""Bit-level parameterization of a quantized weight tensor (Eq. 3–5).
+
+A CSQ layer does not store a weight tensor.  Instead it stores, per layer:
+
+* a scaling factor ``s`` (trainable scalar),
+* bit-representation parameters ``m_p`` and ``m_n`` of shape
+  ``(num_bits, *weight.shape)`` — free real values whose gates
+  ``f_beta(m_p)`` / ``f_beta(m_n)`` are the relaxed positive/negative bit
+  planes of Eq. (3),
+* bit-mask parameters ``m_B`` of shape ``(num_bits,)`` — free real values
+  whose gates select which bit planes participate (Eq. 4), giving the layer
+  precision ``sum_b I(m_B[b] >= 0)``.
+
+The relaxed weight of Eq. (5) is::
+
+    W = s / (2**n - 1) * sum_b (f_beta(m_p[b]) - f_beta(m_n[b])) * 2**b * f_beta(m_B[b])
+
+As ``beta`` grows the gates converge to unit steps and ``W`` converges to an
+exactly quantized tensor without any rounding or straight-through gradient.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.csq.gates import GateState, hard_gate, temperature_sigmoid
+from repro.nn.parameter import Parameter
+from repro.quant.functional import bit_decompose
+
+
+class BitParameterization:
+    """The trainable ``(s, m_p, m_n, m_B)`` bundle of one CSQ layer.
+
+    Parameters
+    ----------
+    weight:
+        The float weight tensor the layer starts from (NumPy array).
+    num_bits:
+        Number of bit planes allocated per layer.  The paper uses 8
+        ("we set the shape of the bit representation and bit mask to uniform
+        8-bit in each layer, as in most cases 8-bit is adequate").
+    gate_init:
+        Magnitude used to initialize ``m_p`` / ``m_n``: a set bit starts at
+        ``+gate_init`` and a cleared bit at ``-gate_init`` so that
+        ``f_1(m)`` starts close to the original bit value but still smooth.
+    mask_init:
+        Initial value of every ``m_B`` entry.  A small positive value means
+        all 8 bit planes start selected and the budget-aware regularizer
+        grows/prunes them towards the target.
+    trainable_mask:
+        When ``False`` the bit mask is fixed to all-ones and excluded from
+        the trainable parameters — this is the CSQ-Uniform mode of Table IV
+        (Eq. 3, no bit selection).
+    """
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        num_bits: int = 8,
+        gate_init: float = 1.0,
+        mask_init: float = 0.1,
+        trainable_mask: bool = True,
+    ) -> None:
+        if num_bits < 1:
+            raise ValueError(f"num_bits must be >= 1, got {num_bits}")
+        weight = np.asarray(weight, dtype=np.float32)
+        self.num_bits = num_bits
+        self.weight_shape: Tuple[int, ...] = weight.shape
+        self.trainable_mask = trainable_mask
+
+        planes_p, planes_n, scale = bit_decompose(weight, num_bits)
+        self.scale = Parameter(np.array([scale], dtype=np.float32), name="csq_scale")
+        self.m_p = Parameter(
+            (gate_init * (2.0 * planes_p - 1.0)).astype(np.float32), name="csq_m_p"
+        )
+        self.m_n = Parameter(
+            (gate_init * (2.0 * planes_n - 1.0)).astype(np.float32), name="csq_m_n"
+        )
+        self.m_b = Parameter(
+            np.full((num_bits,), mask_init, dtype=np.float32),
+            requires_grad=trainable_mask,
+            name="csq_m_B",
+        )
+        # Constant 2**b weights of each bit plane (LSB first), broadcastable
+        # against the (num_bits, *weight_shape) bit tensors.
+        self._pow2 = (2.0 ** np.arange(num_bits)).astype(np.float32)
+        self._levels = float(2 ** num_bits - 1)
+
+    # ------------------------------------------------------------------
+    # Parameter access (used by the trainer to build optimizer groups)
+    # ------------------------------------------------------------------
+    def representation_parameters(self) -> List[Parameter]:
+        """The bit-representation parameters ``(s, m_p, m_n)``."""
+        return [self.scale, self.m_p, self.m_n]
+
+    def mask_parameters(self) -> List[Parameter]:
+        """The bit-selection parameters ``m_B`` (empty in CSQ-Uniform mode)."""
+        return [self.m_b] if self.trainable_mask else []
+
+    def all_parameters(self) -> List[Parameter]:
+        return self.representation_parameters() + self.mask_parameters()
+
+    # ------------------------------------------------------------------
+    # Relaxed / frozen weights
+    # ------------------------------------------------------------------
+    def _gate(self, m: Parameter, beta: float, hard: bool) -> Tensor:
+        if hard:
+            return Tensor(hard_gate(m.data))
+        return temperature_sigmoid(m, beta)
+
+    def _mask_tensor(self, state: GateState) -> Tensor:
+        broadcast_shape = (self.num_bits,) + (1,) * len(self.weight_shape)
+        if not self.trainable_mask:
+            return Tensor(np.ones(broadcast_shape, dtype=np.float32))
+        mask = self._gate(self.m_b, state.beta_mask, state.hard_mask)
+        return ops.reshape(mask, broadcast_shape)
+
+    def relaxed_weight(self, state: GateState) -> Tensor:
+        """The Eq. (5) weight tensor under the current gate state.
+
+        With ``state.hard_values`` and ``state.hard_mask`` both set this
+        returns the exactly quantized weight (as a graph tensor whose only
+        trainable dependency is the scale ``s``).
+        """
+        gate_p = self._gate(self.m_p, state.beta, state.hard_values)
+        gate_n = self._gate(self.m_n, state.beta, state.hard_values)
+        diff = ops.sub(gate_p, gate_n)
+        pow2 = Tensor(self._pow2.reshape((self.num_bits,) + (1,) * len(self.weight_shape)))
+        contributions = ops.mul(ops.mul(diff, pow2), self._mask_tensor(state))
+        accumulated = ops.sum(contributions, axis=0)
+        return ops.mul(accumulated, ops.div(self.scale, self._levels))
+
+    def frozen_weight(self) -> np.ndarray:
+        """Exact fixed-point weight with every gate replaced by the unit step."""
+        bits_p = hard_gate(self.m_p.data)
+        bits_n = hard_gate(self.m_n.data)
+        mask = hard_gate(self.m_b.data) if self.trainable_mask else np.ones(self.num_bits, np.float32)
+        weights = self._pow2 * mask
+        diff = bits_p - bits_n
+        accumulated = np.tensordot(weights, diff, axes=(0, 0))
+        return (float(self.scale.data[0]) / self._levels * accumulated).astype(np.float32)
+
+    def frozen_int_weight(self) -> Tuple[np.ndarray, float]:
+        """Integer representation ``(q, scale)`` of the frozen weight.
+
+        ``q`` contains signed integers; the dequantized weight equals
+        ``q * scale / (2**num_bits - 1)``.  Used by tests to assert that the
+        frozen model is exactly representable on the claimed grid.
+        """
+        bits_p = hard_gate(self.m_p.data)
+        bits_n = hard_gate(self.m_n.data)
+        mask = hard_gate(self.m_b.data) if self.trainable_mask else np.ones(self.num_bits, np.float32)
+        weights = self._pow2 * mask
+        q = np.tensordot(weights, bits_p - bits_n, axes=(0, 0))
+        return q.astype(np.int64), float(self.scale.data[0])
+
+    # ------------------------------------------------------------------
+    # Precision and regularization
+    # ------------------------------------------------------------------
+    def precision(self) -> int:
+        """Layer precision counted as ``sum_b I(m_B[b] >= 0)`` (paper, Sec. III-B)."""
+        if not self.trainable_mask:
+            return self.num_bits
+        return int(np.sum(self.m_b.data >= 0.0))
+
+    def selected_bits(self) -> np.ndarray:
+        """Binary vector of selected bit planes (LSB first)."""
+        if not self.trainable_mask:
+            return np.ones(self.num_bits, dtype=np.int64)
+        return (self.m_b.data >= 0.0).astype(np.int64)
+
+    def num_elements(self) -> int:
+        """Number of weight elements parameterized by this bundle."""
+        return int(np.prod(self.weight_shape))
+
+    def mask_regularization(self, state: GateState) -> Tensor:
+        """``R(m_B) = sum_b f_beta(m_B[b])`` (Eq. 6); zero when the mask is fixed."""
+        if not self.trainable_mask:
+            return Tensor(np.zeros(1, dtype=np.float32))
+        gate = self._gate(self.m_b, state.beta_mask, state.hard_mask)
+        return ops.sum(gate)

@@ -1,0 +1,155 @@
+"""Model conversion: float → CSQ → frozen fixed-point.
+
+``convert_to_csq`` walks a float model and replaces every ``Conv2d`` /
+``Linear`` with the corresponding CSQ layer sharing a single
+:class:`~repro.csq.gates.GateState`.  ``freeze_model`` switches the gates to
+exact unit steps (the end-of-training step of Algorithm 1), and
+``materialize_quantized`` converts the CSQ model back into a plain float
+model whose weights are the exactly-quantized values — the artifact a
+deployment flow would consume.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set, Tuple
+
+from repro import nn
+from repro.csq.gates import GateState
+from repro.csq.layers import CSQConv2d, CSQLinear, _CSQLayerBase
+from repro.csq.precision import csq_layers
+from repro.nn.module import Module
+
+
+def convert_to_csq(
+    model: Module,
+    num_bits: int = 8,
+    act_bits: int = 32,
+    trainable_mask: bool = True,
+    skip_layers: Optional[Iterable[str]] = None,
+    state: Optional[GateState] = None,
+    gate_init: float = 1.0,
+    mask_init: float = 0.1,
+) -> Tuple[Module, GateState]:
+    """Replace every Conv2d/Linear in ``model`` with a CSQ layer, in place.
+
+    Parameters
+    ----------
+    model:
+        A float model (its Conv2d/Linear submodules are replaced in place;
+        the model object itself is returned for convenience).
+    num_bits:
+        Bit planes allocated per layer (8 in the paper).
+    act_bits:
+        Uniform activation precision (the tables' "A-Bits" column); 32 keeps
+        activations in floating point.
+    trainable_mask:
+        ``False`` gives the CSQ-Uniform mode of Table IV (fixed precision,
+        no bit selection).
+    skip_layers:
+        Optional module names (as produced by ``named_modules``) to leave in
+        floating point.
+    state:
+        Existing :class:`GateState` to share; a fresh one is created if not
+        given.
+    gate_init, mask_init:
+        Initialisation of the gate parameters (see
+        :class:`~repro.csq.bitparam.BitParameterization`).
+
+    Returns
+    -------
+    (model, state):
+        The converted model and the shared gate state the trainer mutates.
+    """
+    if state is None:
+        state = GateState()
+    skip: Set[str] = set(skip_layers or ())
+
+    def _convert_children(module: Module, prefix: str) -> None:
+        for child_name, child in list(module._modules.items()):
+            full_name = f"{prefix}{child_name}" if not prefix else f"{prefix}.{child_name}"
+            full_name = full_name.lstrip(".")
+            if full_name in skip:
+                continue
+            if isinstance(child, nn.Conv2d):
+                replacement = CSQConv2d.from_float(
+                    child,
+                    state,
+                    num_bits=num_bits,
+                    act_bits=act_bits,
+                    trainable_mask=trainable_mask,
+                    gate_init=gate_init,
+                    mask_init=mask_init,
+                )
+                module.add_module(child_name, replacement)
+            elif isinstance(child, nn.Linear):
+                replacement = CSQLinear.from_float(
+                    child,
+                    state,
+                    num_bits=num_bits,
+                    act_bits=act_bits,
+                    trainable_mask=trainable_mask,
+                    gate_init=gate_init,
+                    mask_init=mask_init,
+                )
+                module.add_module(child_name, replacement)
+            else:
+                _convert_children(child, full_name)
+
+    _convert_children(model, "")
+    if not any(True for _ in csq_layers(model)):
+        raise ValueError("convert_to_csq found no Conv2d or Linear layers to convert")
+    return model, state
+
+
+def freeze_model(model: Module) -> Module:
+    """Switch every gate in the model to the exact unit step.
+
+    After this call the model is exactly quantized: re-running the forward
+    pass uses hard bit values and hard bit masks, matching the paper's
+    "we set all gate functions to the unit-step function before the final
+    validation".
+    """
+    layers = list(csq_layers(model))
+    if not layers:
+        raise ValueError("freeze_model expects a model converted with convert_to_csq()")
+    # All layers share one state; freezing through any of them freezes all.
+    layers[0][1].state.freeze_all()
+    return model
+
+
+def materialize_quantized(model: Module) -> Module:
+    """Replace every CSQ layer with a float layer holding the frozen weights.
+
+    The returned model (the same object, modified in place) contains ordinary
+    ``Conv2d`` / ``Linear`` layers whose weights equal the exactly-quantized
+    CSQ weights, so it can be evaluated or exported without any CSQ machinery.
+    Activation quantizers are dropped (they model inference-time hardware and
+    are re-applied by the deployment flow).
+    """
+
+    def _materialize_children(module: Module) -> None:
+        for child_name, child in list(module._modules.items()):
+            if isinstance(child, CSQConv2d):
+                conv = nn.Conv2d(
+                    child.in_channels,
+                    child.out_channels,
+                    child.kernel_size,
+                    stride=child.stride,
+                    padding=child.padding,
+                    bias=child.bias is not None,
+                )
+                conv.weight.data = child.bitparam.frozen_weight()
+                if child.bias is not None:
+                    conv.bias.data = child.bias.data.copy()
+                module.add_module(child_name, conv)
+            elif isinstance(child, CSQLinear):
+                linear = nn.Linear(child.in_features, child.out_features, bias=child.bias is not None)
+                linear.weight.data = child.bitparam.frozen_weight()
+                if child.bias is not None:
+                    linear.bias.data = child.bias.data.copy()
+                module.add_module(child_name, linear)
+            else:
+                _materialize_children(child)
+
+    _materialize_children(model)
+    return model

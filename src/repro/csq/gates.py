@@ -1,0 +1,88 @@
+"""Temperature sigmoid gates (Eq. 2) and the shared gate state.
+
+The continuous sparsification gate relaxes the binary indicator
+``I(x >= 0)`` into ``f_beta(x) = sigmoid(beta * x)``.  At small temperature
+``beta`` the gate is smooth and fully differentiable; as ``beta`` grows the
+gate approaches the unit step, and at the end of training it is replaced by
+the exact step function so the model is exactly quantized without rounding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+
+
+def temperature_sigmoid(m: Tensor, beta: float) -> Tensor:
+    """Relaxed binary gate ``f_beta(m) = sigmoid(beta * m)`` (Eq. 2)."""
+    if beta <= 0:
+        raise ValueError(f"temperature beta must be positive, got {beta}")
+    return ops.sigmoid(ops.mul(m, float(beta)))
+
+
+def hard_gate(m: np.ndarray) -> np.ndarray:
+    """Exact binary gate ``I(m >= 0)`` used after training (unit-step limit)."""
+    return (np.asarray(m) >= 0.0).astype(np.float32)
+
+
+def hard_gate_tensor(m: Tensor) -> Tensor:
+    """Hard gate as a non-differentiable tensor (used in the finetuning phase,
+    where the bit selection is fixed and only the bit representations train)."""
+    return Tensor(hard_gate(m.data))
+
+
+@dataclass
+class GateState:
+    """Mutable state shared by every CSQ layer of a model.
+
+    The trainer owns one ``GateState`` and mutates it once per epoch
+    (temperature scheduling) or once per phase (freezing); the layers read it
+    on every forward pass.  Keeping it in one place guarantees that the bit
+    representations and the bit masks use the same temperature, as prescribed
+    by the paper ("we can use the same temperature scheduling for both bit
+    masks and bit representations").
+
+    Attributes
+    ----------
+    beta:
+        Current gate temperature for the bit representations.
+    beta_mask:
+        Current gate temperature for the bit masks (kept equal to ``beta``
+        by the trainer, but exposed separately for ablations).
+    hard_values:
+        When ``True`` the bit representations use the exact unit-step gate
+        (set before the final validation — "we set all gate functions to the
+        unit-step function before the final validation").
+    hard_mask:
+        When ``True`` the bit masks use the exact unit-step gate.  The
+        finetuning phase of Algorithm 1 sets this while rewinding ``beta``.
+    """
+
+    beta: float = 1.0
+    beta_mask: float = 1.0
+    hard_values: bool = False
+    hard_mask: bool = False
+
+    def set_temperature(self, beta: float) -> None:
+        """Set both gate temperatures (the paper shares one schedule)."""
+        self.beta = float(beta)
+        self.beta_mask = float(beta)
+
+    def freeze_all(self) -> None:
+        """Switch every gate to the exact unit step (end of training)."""
+        self.hard_values = True
+        self.hard_mask = True
+
+    def freeze_mask_only(self) -> None:
+        """Fix the bit selection but keep the bit representations relaxed
+        (start of the finetuning phase)."""
+        self.hard_mask = True
+
+    def thaw(self) -> None:
+        """Return to fully relaxed gates (used by tests and restarts)."""
+        self.hard_values = False
+        self.hard_mask = False

@@ -1,0 +1,198 @@
+"""CSQ layers: drop-in replacements for ``Conv2d`` / ``Linear``.
+
+Each CSQ layer owns one :class:`~repro.csq.bitparam.BitParameterization`
+(the trainable bit-level weight) plus the layer's float bias, and reads the
+shared :class:`~repro.csq.gates.GateState` on every forward pass to decide
+the gate temperature / hardness.  Input activations are quantized by the
+uniform :class:`~repro.quant.act_quant.ActivationQuantizer` exactly as in the
+baselines — the paper keeps activation quantization uniform and outside
+CSQ's search.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import nn
+from repro.autograd.tensor import Tensor
+from repro.csq.bitparam import BitParameterization
+from repro.csq.gates import GateState
+from repro.nn import functional as F
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.quant.act_quant import ActivationQuantizer
+
+
+class _CSQLayerBase(Module):
+    """Shared plumbing of CSQConv2d / CSQLinear."""
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        state: GateState,
+        num_bits: int = 8,
+        act_bits: int = 32,
+        trainable_mask: bool = True,
+        gate_init: float = 1.0,
+        mask_init: float = 0.1,
+    ) -> None:
+        super().__init__()
+        self.state = state
+        self.num_bits = num_bits
+        self.bitparam = BitParameterization(
+            weight,
+            num_bits=num_bits,
+            gate_init=gate_init,
+            mask_init=mask_init,
+            trainable_mask=trainable_mask,
+        )
+        # Register the bit parameters so Module traversal (state_dict,
+        # parameters(), optimizers built from model.parameters()) sees them.
+        self.register_parameter("scale", self.bitparam.scale)
+        self.register_parameter("m_p", self.bitparam.m_p)
+        self.register_parameter("m_n", self.bitparam.m_n)
+        self.register_parameter("m_b", self.bitparam.m_b)
+        if bias is not None:
+            self.bias = Parameter(np.asarray(bias, dtype=np.float32).copy())
+        else:
+            self.register_parameter("bias", None)
+        self.act_quant = ActivationQuantizer(bits=act_bits)
+
+    # ------------------------------------------------------------------
+    @property
+    def precision(self) -> int:
+        """Current layer precision ``sum_b I(m_B >= 0)``."""
+        return self.bitparam.precision()
+
+    def quantized_weight(self) -> Tensor:
+        """Relaxed (or frozen, per gate state) weight tensor of Eq. (5)."""
+        return self.bitparam.relaxed_weight(self.state)
+
+    def extra_repr(self) -> str:
+        return f"num_bits={self.num_bits}, precision={self.precision}"
+
+
+class CSQConv2d(_CSQLayerBase):
+    """Convolution whose weight is the bi-level continuously sparsified tensor."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        state: GateState,
+        stride: int = 1,
+        padding: int = 0,
+        num_bits: int = 8,
+        act_bits: int = 32,
+        trainable_mask: bool = True,
+        gate_init: float = 1.0,
+        mask_init: float = 0.1,
+    ) -> None:
+        expected = (out_channels, in_channels, kernel_size, kernel_size)
+        if tuple(weight.shape) != expected:
+            raise ValueError(f"weight shape {weight.shape} does not match {expected}")
+        super().__init__(
+            weight, bias, state, num_bits, act_bits, trainable_mask, gate_init, mask_init
+        )
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    @classmethod
+    def from_float(
+        cls,
+        conv: nn.Conv2d,
+        state: GateState,
+        num_bits: int = 8,
+        act_bits: int = 32,
+        trainable_mask: bool = True,
+        gate_init: float = 1.0,
+        mask_init: float = 0.1,
+    ) -> "CSQConv2d":
+        """Build a CSQ convolution initialized from a float convolution."""
+        bias = conv.bias.data if conv.bias is not None else None
+        return cls(
+            conv.in_channels,
+            conv.out_channels,
+            conv.kernel_size,
+            conv.weight.data,
+            bias,
+            state,
+            stride=conv.stride,
+            padding=conv.padding,
+            num_bits=num_bits,
+            act_bits=act_bits,
+            trainable_mask=trainable_mask,
+            gate_init=gate_init,
+            mask_init=mask_init,
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.act_quant(x)
+        weight = self.quantized_weight()
+        return F.conv2d(x, weight, self.bias, stride=self.stride, padding=self.padding)
+
+
+class CSQLinear(_CSQLayerBase):
+    """Linear layer whose weight is the bi-level continuously sparsified tensor."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        state: GateState,
+        num_bits: int = 8,
+        act_bits: int = 32,
+        trainable_mask: bool = True,
+        gate_init: float = 1.0,
+        mask_init: float = 0.1,
+    ) -> None:
+        expected = (out_features, in_features)
+        if tuple(weight.shape) != expected:
+            raise ValueError(f"weight shape {weight.shape} does not match {expected}")
+        super().__init__(
+            weight, bias, state, num_bits, act_bits, trainable_mask, gate_init, mask_init
+        )
+        self.in_features = in_features
+        self.out_features = out_features
+
+    @classmethod
+    def from_float(
+        cls,
+        linear: nn.Linear,
+        state: GateState,
+        num_bits: int = 8,
+        act_bits: int = 32,
+        trainable_mask: bool = True,
+        gate_init: float = 1.0,
+        mask_init: float = 0.1,
+    ) -> "CSQLinear":
+        """Build a CSQ linear layer initialized from a float linear layer."""
+        bias = linear.bias.data if linear.bias is not None else None
+        return cls(
+            linear.in_features,
+            linear.out_features,
+            linear.weight.data,
+            bias,
+            state,
+            num_bits=num_bits,
+            act_bits=act_bits,
+            trainable_mask=trainable_mask,
+            gate_init=gate_init,
+            mask_init=mask_init,
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.act_quant(x)
+        weight = self.quantized_weight()
+        return F.linear(x, weight, self.bias)

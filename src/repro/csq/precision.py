@@ -1,0 +1,66 @@
+"""Precision counting and model-size accounting for CSQ models.
+
+The budget-aware regularizer (Eq. 7) needs the element-weighted average
+precision of the current model ("the average quantization precision of all
+elements in the current model"), counting each layer's precision as
+``sum_b I(m_B >= 0)``.  The same accounting produces the Figure 4 layer-wise
+precision plots and the Table V average-precision / compression rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.csq.layers import _CSQLayerBase
+from repro.nn.module import Module
+from repro.quant.scheme import QuantizationScheme
+
+
+def csq_layers(model: Module) -> Iterator[Tuple[str, _CSQLayerBase]]:
+    """Yield ``(name, layer)`` for every CSQ layer in the model, in order."""
+    for name, module in model.named_modules():
+        if isinstance(module, _CSQLayerBase):
+            yield name, module
+
+
+def layer_precisions(model: Module) -> Dict[str, int]:
+    """Per-layer precision ``{layer name: bits}`` of a CSQ model (Figure 4)."""
+    return {name: layer.precision for name, layer in csq_layers(model)}
+
+
+def layer_sizes(model: Module) -> Dict[str, int]:
+    """Per-layer weight element counts ``{layer name: numel}``."""
+    return {name: layer.bitparam.num_elements() for name, layer in csq_layers(model)}
+
+
+def average_precision(model: Module) -> float:
+    """Element-weighted average precision of the current model.
+
+    This is the quantity the budget-aware scaling factor ``dS`` compares
+    against the target precision.
+    """
+    total_bits = 0.0
+    total_elements = 0
+    for _, layer in csq_layers(model):
+        numel = layer.bitparam.num_elements()
+        total_bits += layer.precision * numel
+        total_elements += numel
+    if total_elements == 0:
+        raise ValueError("Model contains no CSQ layers; convert it with convert_to_csq() first")
+    return total_bits / total_elements
+
+
+def model_scheme(model: Module) -> QuantizationScheme:
+    """Extract the current mixed-precision scheme as a :class:`QuantizationScheme`."""
+    scheme = QuantizationScheme()
+    for name, layer in csq_layers(model):
+        scheme.add_layer(name, layer.bitparam.num_elements(), float(layer.precision))
+    return scheme
+
+
+def precision_trajectory_entry(model: Module) -> Dict[str, float]:
+    """Snapshot used by the trainer's history (Figures 2 and 3 series)."""
+    return {
+        "average_precision": average_precision(model),
+        **{f"layer:{name}": float(bits) for name, bits in layer_precisions(model).items()},
+    }

@@ -1,0 +1,60 @@
+"""Budget-aware model-size regularization (Eq. 6–7).
+
+The regularizer is ``lambda * dS * sum_layers R(m_B)`` where
+
+* ``R(m_B) = sum_b f_beta(m_B[b])`` is the relaxed layer precision (Eq. 6),
+* ``dS`` is the budget-aware scaling factor: the element-weighted average
+  precision of the *current* model (counted with the hard indicator
+  ``I(m_B >= 0)``) minus the target average precision.
+
+``dS`` is positive when the model is larger than the budget (the term prunes
+bits), shrinks as the model approaches the budget, and becomes negative when
+the model is below budget (the term *grows* bits back) — this is what lets
+CSQ converge precisely onto the requested model size (Figures 2 and 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.csq.gates import GateState
+from repro.csq.precision import average_precision, csq_layers
+from repro.nn.module import Module
+
+
+@dataclass
+class BudgetAwareRegularizer:
+    """Budget-aware size regularizer with base strength ``lambda`` (Eq. 7).
+
+    Parameters
+    ----------
+    target_bits:
+        The desired average weight precision ("T" in the tables, e.g. CSQ-T3
+        targets an average of 3 bits per weight element).
+    base_strength:
+        The base regularization strength ``lambda``; the paper uses 0.01 for
+        every model and dataset.
+    """
+
+    target_bits: float
+    base_strength: float = 0.01
+
+    def delta_s(self, model: Module) -> float:
+        """Budget-aware scaling factor ``dS = avg precision - target``."""
+        return average_precision(model) - self.target_bits
+
+    def penalty(self, model: Module, state: GateState) -> Tensor:
+        """The full regularization term ``lambda * dS * sum_layers R(m_B)``."""
+        delta = self.delta_s(model)
+        terms = [layer.bitparam.mask_regularization(state) for _, layer in csq_layers(model)]
+        if not terms:
+            raise ValueError("Model contains no CSQ layers; convert it with convert_to_csq() first")
+        total = terms[0]
+        for term in terms[1:]:
+            total = ops.add(total, term)
+        return ops.mul(total, float(self.base_strength * delta))
+
+    def __call__(self, model: Module, state: GateState) -> Tensor:
+        return self.penalty(model, state)

@@ -1,0 +1,50 @@
+"""Exponential temperature schedule of Algorithm 1.
+
+The gate temperature grows exponentially with the epoch index::
+
+    beta(epoch) = beta0 * beta_max ** (epoch / total_epochs)
+
+so that ``beta(0) = beta0`` (smooth optimization) and
+``beta(total_epochs) = beta0 * beta_max`` (nearly a step function).  The
+paper uses ``beta0 = 1`` and ``beta_max = 200``; the finetuning phase rewinds
+the schedule and replays it over the finetuning epochs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ExponentialTemperatureSchedule:
+    """Exponential gate-temperature schedule ``beta0 * beta_max**(t / T)``."""
+
+    total_epochs: int
+    beta0: float = 1.0
+    beta_max: float = 200.0
+
+    def __post_init__(self) -> None:
+        if self.total_epochs <= 0:
+            raise ValueError(f"total_epochs must be positive, got {self.total_epochs}")
+        if self.beta0 <= 0 or self.beta_max <= 0:
+            raise ValueError("beta0 and beta_max must be positive")
+
+    def value(self, epoch: int) -> float:
+        """Temperature at the given epoch (clamped to the schedule range)."""
+        progress = min(max(epoch, 0), self.total_epochs) / self.total_epochs
+        return self.beta0 * (self.beta_max ** progress)
+
+    def final(self) -> float:
+        """Temperature reached in the last epoch."""
+        return self.value(self.total_epochs)
+
+    def rewound(self, finetune_epochs: int) -> "ExponentialTemperatureSchedule":
+        """Schedule for the finetuning phase: same endpoints, new horizon.
+
+        Algorithm 1 "rewinds the temperature back to beta0 and redoes the
+        exponential temperature scheduling with the number of finetuning
+        epochs".
+        """
+        return ExponentialTemperatureSchedule(
+            total_epochs=finetune_epochs, beta0=self.beta0, beta_max=self.beta_max
+        )

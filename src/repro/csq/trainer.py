@@ -1,0 +1,256 @@
+"""Algorithm 1: the CSQ training loop.
+
+The trainer performs, in order:
+
+1. **CSQ phase** — train ``(s, m_p, m_n, m_B)`` jointly for ``epochs``
+   epochs.  Each epoch sets the shared gate temperature from the exponential
+   schedule, and every mini-batch minimises
+   ``L(W) + lambda * dS * sum_layers R(m_B)`` (Eq. 7).
+2. **Freeze** — gates become exact unit steps; the quantization scheme
+   (per-layer precision) is now fixed and the model is exactly quantized.
+3. **Finetuning phase (optional)** — with the bit selection fixed
+   (``hard_mask``), the temperature is rewound to ``beta0`` and re-scheduled
+   over the finetuning epochs while only the bit representations
+   ``(s, m_p, m_n)`` are updated.  Used for the ImageNet-scale experiments
+   (Table III).
+
+Histories of accuracy and average precision per epoch are recorded; the
+Figure 2 / Figure 3 benches read ``history.extra["average_precision"]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.csq.convert import convert_to_csq, freeze_model
+from repro.csq.gates import GateState
+from repro.csq.precision import average_precision, csq_layers, layer_precisions, model_scheme
+from repro.csq.regularizer import BudgetAwareRegularizer
+from repro.csq.temperature import ExponentialTemperatureSchedule
+from repro.data.dataloader import DataLoader
+from repro.nn import functional as F
+from repro.nn.module import Module
+from repro.optim.lr_scheduler import WarmupCosine
+from repro.optim.sgd import SGD
+from repro.quant.scheme import QuantizationScheme
+from repro.training.loop import TrainingHistory, evaluate
+
+
+@dataclass
+class CSQConfig:
+    """Hyper-parameters of a CSQ run (defaults follow Section IV-A).
+
+    ``epochs`` and ``finetune_epochs`` are far smaller than the paper's
+    600/200+100 because the benches run on CPU with synthetic data; the
+    schedule shapes (cosine LR, exponential temperature) are identical.
+    """
+
+    epochs: int = 20
+    finetune_epochs: int = 0
+    lr: float = 0.1
+    momentum: float = 0.9
+    weight_decay: float = 5e-4
+    warmup_epochs: int = 0
+    num_bits: int = 8
+    act_bits: int = 32
+    target_bits: float = 3.0
+    base_strength: float = 0.01
+    beta0: float = 1.0
+    beta_max: float = 200.0
+    trainable_mask: bool = True
+    mask_lr_scale: float = 1.0
+    rep_lr_scale: float = 1.0
+    gate_init: float = 1.0
+    mask_init: float = 0.1
+    skip_layers: tuple = ()
+
+
+class CSQTrainer:
+    """End-to-end CSQ training of a float model (Algorithm 1).
+
+    Parameters
+    ----------
+    model:
+        Float model; it is converted to CSQ layers in place.
+    train_loader / test_loader:
+        Mini-batch loaders over the training and evaluation splits.
+    config:
+        :class:`CSQConfig` with the run's hyper-parameters.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        train_loader: DataLoader,
+        test_loader: DataLoader,
+        config: Optional[CSQConfig] = None,
+    ) -> None:
+        self.config = config or CSQConfig()
+        self.model, self.state = convert_to_csq(
+            model,
+            num_bits=self.config.num_bits,
+            act_bits=self.config.act_bits,
+            trainable_mask=self.config.trainable_mask,
+            skip_layers=self.config.skip_layers,
+            gate_init=self.config.gate_init,
+            mask_init=self.config.mask_init,
+        )
+        self.train_loader = train_loader
+        self.test_loader = test_loader
+        self.regularizer = (
+            BudgetAwareRegularizer(self.config.target_bits, self.config.base_strength)
+            if self.config.trainable_mask
+            else None
+        )
+        self.history = TrainingHistory()
+        self.finetune_history = TrainingHistory()
+        self.frozen = False
+
+    # ------------------------------------------------------------------
+    # Optimizer construction
+    # ------------------------------------------------------------------
+    def _build_optimizer(self, include_mask: bool) -> SGD:
+        cfg = self.config
+        representation_params = []
+        mask_params = []
+        other_params = []
+        csq_param_ids = set()
+        for _, layer in csq_layers(self.model):
+            for param in layer.bitparam.representation_parameters():
+                representation_params.append(param)
+                csq_param_ids.add(id(param))
+            for param in layer.bitparam.mask_parameters():
+                mask_params.append(param)
+                csq_param_ids.add(id(param))
+        for param in self.model.parameters():
+            if id(param) not in csq_param_ids:
+                other_params.append(param)
+
+        groups = [
+            # The bit representations sit behind the gate Jacobian
+            # s / (2^n - 1) * 2^b * sigma', which attenuates their effective
+            # step size; rep_lr_scale lets short-schedule runs compensate.
+            {
+                "params": representation_params,
+                "weight_decay": cfg.weight_decay,
+                "lr": cfg.lr * cfg.rep_lr_scale,
+            },
+            {"params": other_params, "weight_decay": cfg.weight_decay},
+        ]
+        if include_mask and mask_params:
+            # No weight decay on the bit masks: decay would bias the selection
+            # towards f_beta(0) = 0.5 rather than a binary decision.
+            groups.append(
+                {
+                    "params": mask_params,
+                    "weight_decay": 0.0,
+                    "lr": cfg.lr * cfg.mask_lr_scale,
+                }
+            )
+        groups = [g for g in groups if g["params"]]
+        return SGD(groups, lr=cfg.lr, momentum=cfg.momentum, weight_decay=cfg.weight_decay)
+
+    # ------------------------------------------------------------------
+    # Training phases
+    # ------------------------------------------------------------------
+    def train(self) -> TrainingHistory:
+        """Run the CSQ phase (and the finetuning phase if configured)."""
+        self._run_csq_phase()
+        self.freeze()
+        if self.config.finetune_epochs > 0:
+            self._run_finetune_phase()
+        return self.history
+
+    def _run_csq_phase(self) -> None:
+        cfg = self.config
+        schedule = ExponentialTemperatureSchedule(cfg.epochs, cfg.beta0, cfg.beta_max)
+        optimizer = self._build_optimizer(include_mask=cfg.trainable_mask)
+        lr_schedule = WarmupCosine(optimizer, total_epochs=cfg.epochs, warmup_epochs=cfg.warmup_epochs)
+
+        for epoch in range(cfg.epochs):
+            self.state.set_temperature(schedule.value(epoch))
+            train_metrics = self._train_one_epoch(optimizer)
+            test_metrics = evaluate(self.model, self.test_loader)
+            self._record_epoch(self.history, train_metrics, test_metrics)
+            lr_schedule.step()
+
+    def _run_finetune_phase(self) -> None:
+        """Mixed-precision finetuning with the bit selection fixed (Algorithm 1)."""
+        cfg = self.config
+        self.state.freeze_mask_only()
+        self.state.hard_values = False  # rewind: bit representations become soft again
+        schedule = ExponentialTemperatureSchedule(cfg.finetune_epochs, cfg.beta0, cfg.beta_max)
+        optimizer = self._build_optimizer(include_mask=False)
+        lr_schedule = WarmupCosine(optimizer, total_epochs=cfg.finetune_epochs, warmup_epochs=0)
+
+        for epoch in range(cfg.finetune_epochs):
+            self.state.set_temperature(schedule.value(epoch))
+            # The mask stays hard regardless of the temperature.
+            self.state.hard_mask = True
+            train_metrics = self._train_one_epoch(optimizer, use_regularizer=False)
+            test_metrics = evaluate(self.model, self.test_loader)
+            self._record_epoch(self.finetune_history, train_metrics, test_metrics)
+            lr_schedule.step()
+        self.freeze()
+
+    def _train_one_epoch(self, optimizer: SGD, use_regularizer: bool = True) -> Dict[str, float]:
+        self.model.train()
+        losses: List[float] = []
+        accuracies: List[float] = []
+        for images, labels in self.train_loader:
+            logits = self.model(Tensor(images))
+            loss = F.cross_entropy(logits, labels)
+            if use_regularizer and self.regularizer is not None:
+                penalty = self.regularizer(self.model, self.state)
+                loss = loss + penalty.sum()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            losses.append(float(loss.data))
+            accuracies.append(F.accuracy(logits, labels))
+        return {"loss": float(np.mean(losses)), "accuracy": float(np.mean(accuracies))}
+
+    def _record_epoch(
+        self,
+        history: TrainingHistory,
+        train_metrics: Dict[str, float],
+        test_metrics: Dict[str, float],
+    ) -> None:
+        history.train_loss.append(train_metrics["loss"])
+        history.train_accuracy.append(train_metrics["accuracy"])
+        history.test_loss.append(test_metrics["loss"])
+        history.test_accuracy.append(test_metrics["accuracy"])
+        history.record_extra("average_precision", average_precision(self.model))
+        history.record_extra("beta", self.state.beta)
+
+    # ------------------------------------------------------------------
+    # Finalisation and reporting
+    # ------------------------------------------------------------------
+    def freeze(self) -> None:
+        """Set every gate to the exact unit step (end of a phase)."""
+        freeze_model(self.model)
+        self.frozen = True
+
+    def evaluate(self) -> Dict[str, float]:
+        """Accuracy/loss of the current (possibly frozen) model on the test split."""
+        return evaluate(self.model, self.test_loader)
+
+    def scheme(self) -> QuantizationScheme:
+        """The mixed-precision quantization scheme found by CSQ."""
+        return model_scheme(self.model)
+
+    def layer_precisions(self) -> Dict[str, int]:
+        """Per-layer precision (the Figure 4 series)."""
+        return layer_precisions(self.model)
+
+    def average_precision(self) -> float:
+        """Element-weighted average precision of the current scheme."""
+        return average_precision(self.model)
+
+    def precision_trajectory(self) -> List[float]:
+        """Average precision per epoch of the CSQ phase (Figures 2 and 3 series)."""
+        return list(self.history.extra.get("average_precision", []))

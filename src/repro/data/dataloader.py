@@ -1,0 +1,73 @@
+"""Mini-batch loader."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+
+class DataLoader:
+    """Iterate a dataset in shuffled mini-batches of stacked NumPy arrays.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset to draw samples from.  Samples must be tuples of arrays.
+    batch_size:
+        Number of samples per batch.
+    shuffle:
+        Whether to reshuffle sample order each epoch.
+    drop_last:
+        Whether to drop the final incomplete batch.
+    transform:
+        Optional per-sample callable applied to the *first* element of every
+        sample (the image); labels pass through untouched.  This mirrors the
+        ``torchvision`` convention of image-only transforms.
+    seed:
+        Seed for the shuffling RNG; each epoch advances the stream, so runs
+        are reproducible but epochs differ.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 32,
+        shuffle: bool = False,
+        drop_last: bool = False,
+        transform: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        seed: int = 0,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.transform = transform
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, ...]]:
+        n = len(self.dataset)
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        for start in range(0, n, self.batch_size):
+            indices = order[start:start + self.batch_size]
+            if self.drop_last and len(indices) < self.batch_size:
+                break
+            samples = [self.dataset[int(i)] for i in indices]
+            columns = list(zip(*samples))
+            images = np.stack([np.asarray(x) for x in columns[0]])
+            if self.transform is not None:
+                images = np.stack([self.transform(img) for img in images])
+            batch = [images]
+            for column in columns[1:]:
+                batch.append(np.stack([np.asarray(x) for x in column]))
+            yield tuple(batch)

@@ -1,0 +1,62 @@
+"""Dataset abstractions."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class Dataset:
+    """Map-style dataset: implement ``__len__`` and ``__getitem__``."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, index: int):
+        raise NotImplementedError
+
+
+class TensorDataset(Dataset):
+    """Dataset wrapping aligned arrays (images, labels)."""
+
+    def __init__(self, *arrays: np.ndarray) -> None:
+        if not arrays:
+            raise ValueError("TensorDataset needs at least one array")
+        length = len(arrays[0])
+        for array in arrays:
+            if len(array) != length:
+                raise ValueError("All arrays must have the same first dimension")
+        self.arrays = tuple(np.asarray(a) for a in arrays)
+
+    def __len__(self) -> int:
+        return len(self.arrays[0])
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, ...]:
+        return tuple(array[index] for array in self.arrays)
+
+
+class Subset(Dataset):
+    """View of a dataset restricted to the given indices."""
+
+    def __init__(self, dataset: Dataset, indices: Sequence[int]) -> None:
+        self.dataset = dataset
+        self.indices = list(indices)
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, index: int):
+        return self.dataset[self.indices[index]]
+
+
+def train_val_split(
+    dataset: Dataset, val_fraction: float = 0.1, seed: int = 0
+) -> Tuple[Subset, Subset]:
+    """Random train/validation split of a dataset."""
+    if not 0.0 < val_fraction < 1.0:
+        raise ValueError(f"val_fraction must be in (0, 1), got {val_fraction}")
+    rng = np.random.default_rng(seed)
+    indices = rng.permutation(len(dataset))
+    val_size = int(round(len(dataset) * val_fraction))
+    return Subset(dataset, indices[val_size:]), Subset(dataset, indices[:val_size])

@@ -1,0 +1,215 @@
+"""Synthetic image-classification datasets (CIFAR-10 / ImageNet stand-ins).
+
+The original paper evaluates on CIFAR-10 and ImageNet; neither is available
+offline, and CPU-only NumPy training could not process them anyway.  The
+substitute implemented here generates class-conditional images with enough
+structure that (a) a small convolutional network clearly beats a linear
+classifier, and (b) quantizing the weights to low precision visibly hurts
+accuracy — the two properties the paper's comparisons rely on.
+
+Generation recipe (per class):
+
+1. Draw ``modes_per_class`` smooth spatial prototypes by upsampling a small
+   random grid (low-frequency content that convolutions can detect).
+2. Each sample picks a mode, applies a random spatial shift, scales it by a
+   random per-sample contrast, and adds white noise of standard deviation
+   ``noise``.
+3. Images are finally standardized per channel so that the usual CIFAR
+   normalization statistics are approximately (0, 1).
+
+The difficulty is controlled by ``noise`` and ``modes_per_class``; defaults
+are tuned so a reduced-width ResNet-20 reaches high accuracy in a few epochs
+while 2-bit uniform quantization costs several points of accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+
+def _smooth_prototype(
+    rng: np.random.Generator, channels: int, size: int, grid: int
+) -> np.ndarray:
+    """Create a smooth prototype image by bilinear upsampling of a random grid."""
+    coarse = rng.standard_normal((channels, grid, grid))
+    # Bilinear upsample to (size, size) without scipy to keep this module light.
+    x = np.linspace(0, grid - 1, size)
+    x0 = np.floor(x).astype(int)
+    x1 = np.minimum(x0 + 1, grid - 1)
+    wx = (x - x0)[None, :]
+    rows = coarse[:, x0, :] * (1 - wx.T)[None, :, :] + coarse[:, x1, :] * wx.T[None, :, :]
+    cols = rows[:, :, x0] * (1 - wx)[None, :, :] + rows[:, :, x1] * wx[None, :, :]
+    return cols.astype(np.float32)
+
+
+def _shift2d(image: np.ndarray, dy: int, dx: int) -> np.ndarray:
+    """Cyclically shift a CHW image in the spatial dimensions."""
+    return np.roll(np.roll(image, dy, axis=1), dx, axis=2)
+
+
+@dataclass
+class SyntheticConfig:
+    """Configuration of a synthetic classification dataset."""
+
+    num_classes: int = 10
+    image_size: int = 32
+    channels: int = 3
+    train_size: int = 2000
+    test_size: int = 500
+    modes_per_class: int = 2
+    noise: float = 0.8
+    prototype_grid: int = 4
+    max_shift: int = 4
+    seed: int = 0
+
+
+class SyntheticImageClassification(Dataset):
+    """Deterministic synthetic dataset of class-conditional structured images.
+
+    Parameters mirror :class:`SyntheticConfig`.  The train and test splits are
+    drawn from the same generative process with disjoint random streams; the
+    full arrays are materialised eagerly (they are small at the scales used
+    by the benches).
+    """
+
+    def __init__(self, config: Optional[SyntheticConfig] = None, train: bool = True, **overrides):
+        if config is None:
+            config = SyntheticConfig(**overrides)
+        elif overrides:
+            raise ValueError("Pass either a config object or keyword overrides, not both")
+        self.config = config
+        self.train = train
+        images, labels = self._generate()
+        self.images = images
+        self.labels = labels
+
+    def _generate(self) -> Tuple[np.ndarray, np.ndarray]:
+        cfg = self.config
+        # Prototypes are shared between train and test so the task is well posed.
+        proto_rng = np.random.default_rng(cfg.seed)
+        prototypes = np.stack(
+            [
+                np.stack(
+                    [
+                        _smooth_prototype(proto_rng, cfg.channels, cfg.image_size, cfg.prototype_grid)
+                        for _ in range(cfg.modes_per_class)
+                    ]
+                )
+                for _ in range(cfg.num_classes)
+            ]
+        )  # (classes, modes, C, H, W)
+
+        split_seed = cfg.seed * 2 + (0 if self.train else 1)
+        sample_rng = np.random.default_rng(10_000 + split_seed)
+        size = cfg.train_size if self.train else cfg.test_size
+
+        labels = sample_rng.integers(0, cfg.num_classes, size=size)
+        modes = sample_rng.integers(0, cfg.modes_per_class, size=size)
+        contrasts = sample_rng.uniform(0.7, 1.3, size=size).astype(np.float32)
+        shifts = sample_rng.integers(-cfg.max_shift, cfg.max_shift + 1, size=(size, 2))
+        noise = sample_rng.standard_normal(
+            (size, cfg.channels, cfg.image_size, cfg.image_size)
+        ).astype(np.float32) * cfg.noise
+
+        images = np.empty(
+            (size, cfg.channels, cfg.image_size, cfg.image_size), dtype=np.float32
+        )
+        for i in range(size):
+            proto = prototypes[labels[i], modes[i]]
+            shifted = _shift2d(proto, int(shifts[i, 0]), int(shifts[i, 1]))
+            images[i] = contrasts[i] * shifted + noise[i]
+        # Standardize globally so downstream Normalize((0,)*C, (1,)*C) is a no-op
+        # and activation ranges are comparable to normalized CIFAR.
+        images -= images.mean(axis=(0, 2, 3), keepdims=True)
+        images /= images.std(axis=(0, 2, 3), keepdims=True) + 1e-8
+        return images, labels.astype(np.int64)
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, np.ndarray]:
+        return self.images[index], self.labels[index]
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the full ``(images, labels)`` arrays."""
+        return self.images, self.labels
+
+
+def cifar10_like(
+    train: bool = True,
+    train_size: int = 2000,
+    test_size: int = 500,
+    image_size: int = 16,
+    noise: float = 0.8,
+    seed: int = 0,
+) -> SyntheticImageClassification:
+    """CIFAR-10 stand-in: 10 classes, 3 channels, default 16×16 for CPU training.
+
+    The paper's CIFAR-10 experiments use 32×32; the default here is reduced to
+    16×16 so the benchmark harness completes on CPU.  Pass ``image_size=32``
+    for the full-size variant.
+    """
+    config = SyntheticConfig(
+        num_classes=10,
+        image_size=image_size,
+        channels=3,
+        train_size=train_size,
+        test_size=test_size,
+        noise=noise,
+        seed=seed,
+    )
+    return SyntheticImageClassification(config, train=train)
+
+
+def imagenet_like(
+    train: bool = True,
+    train_size: int = 3000,
+    test_size: int = 600,
+    image_size: int = 32,
+    num_classes: int = 100,
+    noise: float = 0.9,
+    seed: int = 1,
+) -> SyntheticImageClassification:
+    """ImageNet stand-in: many classes, higher difficulty, 32×32 by default.
+
+    Real ImageNet is 1000 classes at 224×224; this surrogate keeps the
+    "many classes, harder task" property at a scale trainable on CPU.
+    """
+    config = SyntheticConfig(
+        num_classes=num_classes,
+        image_size=image_size,
+        channels=3,
+        train_size=train_size,
+        test_size=test_size,
+        modes_per_class=2,
+        noise=noise,
+        seed=seed,
+    )
+    return SyntheticImageClassification(config, train=train)
+
+
+def make_classification_arrays(
+    num_samples: int = 512,
+    num_classes: int = 10,
+    image_size: int = 8,
+    channels: int = 3,
+    noise: float = 0.6,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Small helper returning raw ``(images, labels)`` arrays for unit tests."""
+    config = SyntheticConfig(
+        num_classes=num_classes,
+        image_size=image_size,
+        channels=channels,
+        train_size=num_samples,
+        test_size=1,
+        noise=noise,
+        seed=seed,
+    )
+    dataset = SyntheticImageClassification(config, train=True)
+    return dataset.as_arrays()

@@ -1,0 +1,75 @@
+"""Image transforms operating on CHW NumPy arrays.
+
+These reproduce the standard CIFAR-10 augmentation pipeline used by the
+paper's training recipe: random crop with 4-pixel padding, random horizontal
+flip, and per-channel normalization.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+class Compose:
+    """Chain transforms left to right."""
+
+    def __init__(self, transforms: Sequence[Callable[[np.ndarray], np.ndarray]]) -> None:
+        self.transforms = list(transforms)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        for transform in self.transforms:
+            image = transform(image)
+        return image
+
+
+class ToFloat:
+    """Cast to float32 (no scaling — synthetic data is already unit scale)."""
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        return image.astype(np.float32)
+
+
+class Normalize:
+    """Per-channel standardization ``(x - mean) / std`` for CHW images."""
+
+    def __init__(self, mean: Sequence[float], std: Sequence[float]) -> None:
+        self.mean = np.asarray(mean, dtype=np.float32).reshape(-1, 1, 1)
+        self.std = np.asarray(std, dtype=np.float32).reshape(-1, 1, 1)
+        if np.any(self.std == 0):
+            raise ValueError("std must be non-zero")
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        return (image - self.mean) / self.std
+
+
+class RandomCrop:
+    """Pad by ``padding`` pixels and crop back to the original size at a random offset."""
+
+    def __init__(self, size: int, padding: int = 4, seed: int = 0) -> None:
+        self.size = size
+        self.padding = padding
+        self._rng = np.random.default_rng(seed)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        channels, height, width = image.shape
+        padded = np.pad(
+            image, ((0, 0), (self.padding, self.padding), (self.padding, self.padding))
+        )
+        top = int(self._rng.integers(0, 2 * self.padding + 1))
+        left = int(self._rng.integers(0, 2 * self.padding + 1))
+        return padded[:, top:top + self.size, left:left + self.size]
+
+
+class RandomHorizontalFlip:
+    """Flip the image left-right with probability ``p``."""
+
+    def __init__(self, p: float = 0.5, seed: int = 0) -> None:
+        self.p = p
+        self._rng = np.random.default_rng(seed)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        if self._rng.random() < self.p:
+            return image[:, :, ::-1].copy()
+        return image

@@ -1,0 +1,40 @@
+"""Model architectures evaluated in the paper.
+
+* :mod:`repro.models.resnet_cifar` — ResNet-20/32/44/56 (CIFAR style), the
+  workhorse of Tables I, IV, V and Figures 2–4.
+* :mod:`repro.models.resnet_imagenet` — ResNet-18/34/50 (Table III).
+* :mod:`repro.models.vgg` — VGG11/16/19 with batch normalization (Table II).
+* :mod:`repro.models.registry` — ``create_model(name, ...)`` factory used by
+  the experiment runner and benches.
+
+All constructors accept ``width_mult`` so the benches can run reduced-width
+variants on CPU while keeping the exact layer topology (and therefore the
+layer-wise mixed-precision structure) of the originals.
+"""
+
+from repro.models.resnet_cifar import ResNetCIFAR, resnet20, resnet32, resnet44, resnet56
+from repro.models.resnet_imagenet import ResNetImageNet, resnet18, resnet34, resnet50
+from repro.models.vgg import VGG, vgg11_bn, vgg16_bn, vgg19_bn
+from repro.models.simple import SimpleConvNet, TinyMLP
+from repro.models.registry import create_model, list_models, register_model
+
+__all__ = [
+    "ResNetCIFAR",
+    "resnet20",
+    "resnet32",
+    "resnet44",
+    "resnet56",
+    "ResNetImageNet",
+    "resnet18",
+    "resnet34",
+    "resnet50",
+    "VGG",
+    "vgg11_bn",
+    "vgg16_bn",
+    "vgg19_bn",
+    "SimpleConvNet",
+    "TinyMLP",
+    "create_model",
+    "list_models",
+    "register_model",
+]

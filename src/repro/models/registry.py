@@ -1,0 +1,58 @@
+"""Model factory used by the experiment runner and benchmark harnesses."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.nn.module import Module
+
+_REGISTRY: Dict[str, Callable[..., Module]] = {}
+
+
+def register_model(name: str) -> Callable[[Callable[..., Module]], Callable[..., Module]]:
+    """Decorator registering a model constructor under ``name``."""
+
+    def decorator(factory: Callable[..., Module]) -> Callable[..., Module]:
+        if name in _REGISTRY:
+            raise ValueError(f"Model {name!r} is already registered")
+        _REGISTRY[name] = factory
+        return factory
+
+    return decorator
+
+
+def create_model(name: str, **kwargs) -> Module:
+    """Instantiate a registered model by name (e.g. ``"resnet20"``)."""
+    if name not in _REGISTRY:
+        raise KeyError(f"Unknown model {name!r}; available: {sorted(_REGISTRY)}")
+    return _REGISTRY[name](**kwargs)
+
+
+def list_models() -> List[str]:
+    """Names of all registered models."""
+    return sorted(_REGISTRY)
+
+
+def _register_builtins() -> None:
+    from repro.models import resnet_cifar, resnet_imagenet, vgg, simple
+
+    builtin = {
+        "resnet20": resnet_cifar.resnet20,
+        "resnet32": resnet_cifar.resnet32,
+        "resnet44": resnet_cifar.resnet44,
+        "resnet56": resnet_cifar.resnet56,
+        "resnet18": resnet_imagenet.resnet18,
+        "resnet34": resnet_imagenet.resnet34,
+        "resnet50": resnet_imagenet.resnet50,
+        "vgg11_bn": vgg.vgg11_bn,
+        "vgg16_bn": vgg.vgg16_bn,
+        "vgg19_bn": vgg.vgg19_bn,
+        "simple_convnet": simple.SimpleConvNet,
+        "tiny_mlp": simple.TinyMLP,
+    }
+    for name, factory in builtin.items():
+        if name not in _REGISTRY:
+            _REGISTRY[name] = factory
+
+
+_register_builtins()

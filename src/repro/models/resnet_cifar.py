@@ -1,0 +1,119 @@
+"""CIFAR-style ResNet (He et al., 2016) — ResNet-20/32/44/56.
+
+This is the architecture used by the paper for Tables I, IV, V and
+Figures 2–4.  The layer naming matches the paper's Figure 4 x-axis
+(``conv1``, ``layer1.0.conv1`` … ``layer3.2.conv2``, ``fc``) so the
+layer-wise precision plots can be reproduced with identical labels.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro import nn
+from repro.autograd.tensor import Tensor
+from repro.nn import functional as F
+
+
+def _scaled(width: int, width_mult: float) -> int:
+    return max(4, int(round(width * width_mult)))
+
+
+class BasicBlockCIFAR(nn.Module):
+    """Two 3×3 convolutions with identity (option-A style) shortcut."""
+
+    expansion = 1
+
+    def __init__(self, in_planes: int, planes: int, stride: int = 1) -> None:
+        super().__init__()
+        self.conv1 = nn.Conv2d(in_planes, planes, 3, stride=stride, padding=1, bias=False)
+        self.bn1 = nn.BatchNorm2d(planes)
+        self.conv2 = nn.Conv2d(planes, planes, 3, stride=1, padding=1, bias=False)
+        self.bn2 = nn.BatchNorm2d(planes)
+        if stride != 1 or in_planes != planes:
+            self.downsample = nn.Sequential(
+                nn.Conv2d(in_planes, planes, 1, stride=stride, bias=False),
+                nn.BatchNorm2d(planes),
+            )
+        else:
+            self.downsample = nn.Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = F.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        shortcut = self.downsample(x)
+        return F.relu(out + shortcut)
+
+
+class ResNetCIFAR(nn.Module):
+    """CIFAR ResNet with ``6n + 2`` layers (n blocks per stage, 3 stages).
+
+    Parameters
+    ----------
+    num_blocks:
+        Number of residual blocks per stage (3 for ResNet-20).
+    num_classes:
+        Output classes (10 for CIFAR-10).
+    width_mult:
+        Multiplier applied to the canonical 16/32/64 stage widths.  The
+        benches use ``width_mult < 1`` to keep CPU training feasible; the
+        topology (and hence the mixed-precision layer structure) is unchanged.
+    in_channels:
+        Number of input image channels.
+    """
+
+    def __init__(
+        self,
+        num_blocks: int = 3,
+        num_classes: int = 10,
+        width_mult: float = 1.0,
+        in_channels: int = 3,
+    ) -> None:
+        super().__init__()
+        widths = [_scaled(16, width_mult), _scaled(32, width_mult), _scaled(64, width_mult)]
+        self.num_blocks = num_blocks
+        self.widths = widths
+
+        self.conv1 = nn.Conv2d(in_channels, widths[0], 3, stride=1, padding=1, bias=False)
+        self.bn1 = nn.BatchNorm2d(widths[0])
+        self.layer1 = self._make_stage(widths[0], widths[0], num_blocks, stride=1)
+        self.layer2 = self._make_stage(widths[0], widths[1], num_blocks, stride=2)
+        self.layer3 = self._make_stage(widths[1], widths[2], num_blocks, stride=2)
+        self.avgpool = nn.AdaptiveAvgPool2d(1)
+        self.fc = nn.Linear(widths[2], num_classes)
+
+    @staticmethod
+    def _make_stage(in_planes: int, planes: int, blocks: int, stride: int) -> nn.Sequential:
+        layers: List[nn.Module] = [BasicBlockCIFAR(in_planes, planes, stride)]
+        for _ in range(blocks - 1):
+            layers.append(BasicBlockCIFAR(planes, planes, 1))
+        return nn.Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = F.relu(self.bn1(self.conv1(x)))
+        out = self.layer1(out)
+        out = self.layer2(out)
+        out = self.layer3(out)
+        out = self.avgpool(out)
+        out = out.flatten(1)
+        return self.fc(out)
+
+
+def resnet20(num_classes: int = 10, width_mult: float = 1.0, **kwargs) -> ResNetCIFAR:
+    """ResNet-20 (3 blocks per stage), the paper's main CIFAR-10 model."""
+    return ResNetCIFAR(num_blocks=3, num_classes=num_classes, width_mult=width_mult, **kwargs)
+
+
+def resnet32(num_classes: int = 10, width_mult: float = 1.0, **kwargs) -> ResNetCIFAR:
+    """ResNet-32 (5 blocks per stage)."""
+    return ResNetCIFAR(num_blocks=5, num_classes=num_classes, width_mult=width_mult, **kwargs)
+
+
+def resnet44(num_classes: int = 10, width_mult: float = 1.0, **kwargs) -> ResNetCIFAR:
+    """ResNet-44 (7 blocks per stage)."""
+    return ResNetCIFAR(num_blocks=7, num_classes=num_classes, width_mult=width_mult, **kwargs)
+
+
+def resnet56(num_classes: int = 10, width_mult: float = 1.0, **kwargs) -> ResNetCIFAR:
+    """ResNet-56 (9 blocks per stage)."""
+    return ResNetCIFAR(num_blocks=9, num_classes=num_classes, width_mult=width_mult, **kwargs)

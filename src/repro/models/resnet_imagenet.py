@@ -1,0 +1,158 @@
+"""ImageNet-style ResNet (He et al., 2016) — ResNet-18/34/50.
+
+Used by Table III.  The canonical architecture opens with a 7×7 stride-2
+convolution and a 3×3 max pool; for the small synthetic ImageNet stand-in
+(32×32 by default) the constructor exposes ``small_input=True`` which swaps
+the stem for a CIFAR-style 3×3 convolution, as commonly done when running
+ImageNet architectures on small images.  The block structure, channel ratios
+and layer names are unchanged, which is what the mixed-precision scheme
+depends on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Type, Union
+
+from repro import nn
+from repro.autograd.tensor import Tensor
+from repro.nn import functional as F
+
+
+def _scaled(width: int, width_mult: float) -> int:
+    return max(4, int(round(width * width_mult)))
+
+
+class BasicBlock(nn.Module):
+    """Standard two-convolution residual block (ResNet-18/34)."""
+
+    expansion = 1
+
+    def __init__(self, in_planes: int, planes: int, stride: int = 1) -> None:
+        super().__init__()
+        self.conv1 = nn.Conv2d(in_planes, planes, 3, stride=stride, padding=1, bias=False)
+        self.bn1 = nn.BatchNorm2d(planes)
+        self.conv2 = nn.Conv2d(planes, planes, 3, stride=1, padding=1, bias=False)
+        self.bn2 = nn.BatchNorm2d(planes)
+        out_planes = planes * self.expansion
+        if stride != 1 or in_planes != out_planes:
+            self.downsample = nn.Sequential(
+                nn.Conv2d(in_planes, out_planes, 1, stride=stride, bias=False),
+                nn.BatchNorm2d(out_planes),
+            )
+        else:
+            self.downsample = nn.Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = F.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        return F.relu(out + self.downsample(x))
+
+
+class Bottleneck(nn.Module):
+    """1×1 → 3×3 → 1×1 bottleneck block (ResNet-50)."""
+
+    expansion = 4
+
+    def __init__(self, in_planes: int, planes: int, stride: int = 1) -> None:
+        super().__init__()
+        out_planes = planes * self.expansion
+        self.conv1 = nn.Conv2d(in_planes, planes, 1, bias=False)
+        self.bn1 = nn.BatchNorm2d(planes)
+        self.conv2 = nn.Conv2d(planes, planes, 3, stride=stride, padding=1, bias=False)
+        self.bn2 = nn.BatchNorm2d(planes)
+        self.conv3 = nn.Conv2d(planes, out_planes, 1, bias=False)
+        self.bn3 = nn.BatchNorm2d(out_planes)
+        if stride != 1 or in_planes != out_planes:
+            self.downsample = nn.Sequential(
+                nn.Conv2d(in_planes, out_planes, 1, stride=stride, bias=False),
+                nn.BatchNorm2d(out_planes),
+            )
+        else:
+            self.downsample = nn.Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = F.relu(self.bn1(self.conv1(x)))
+        out = F.relu(self.bn2(self.conv2(out)))
+        out = self.bn3(self.conv3(out))
+        return F.relu(out + self.downsample(x))
+
+
+class ResNetImageNet(nn.Module):
+    """ImageNet ResNet family.
+
+    Parameters
+    ----------
+    block:
+        ``BasicBlock`` (ResNet-18/34) or ``Bottleneck`` (ResNet-50).
+    layers:
+        Blocks per stage, e.g. ``[2, 2, 2, 2]`` for ResNet-18.
+    num_classes:
+        Number of output classes.
+    width_mult:
+        Channel width multiplier for CPU-scale runs.
+    small_input:
+        Use a 3×3 stride-1 stem without max pooling, for 32×32 inputs.
+    """
+
+    def __init__(
+        self,
+        block: Type[Union[BasicBlock, Bottleneck]],
+        layers: List[int],
+        num_classes: int = 1000,
+        width_mult: float = 1.0,
+        small_input: bool = False,
+        in_channels: int = 3,
+    ) -> None:
+        super().__init__()
+        widths = [_scaled(w, width_mult) for w in (64, 128, 256, 512)]
+        self.block = block
+        self.small_input = small_input
+        self.in_planes = widths[0]
+
+        if small_input:
+            self.conv1 = nn.Conv2d(in_channels, widths[0], 3, stride=1, padding=1, bias=False)
+            self.maxpool = nn.Identity()
+        else:
+            self.conv1 = nn.Conv2d(in_channels, widths[0], 7, stride=2, padding=3, bias=False)
+            self.maxpool = nn.MaxPool2d(3, stride=2)
+        self.bn1 = nn.BatchNorm2d(widths[0])
+
+        self.layer1 = self._make_stage(block, widths[0], layers[0], stride=1)
+        self.layer2 = self._make_stage(block, widths[1], layers[1], stride=2)
+        self.layer3 = self._make_stage(block, widths[2], layers[2], stride=2)
+        self.layer4 = self._make_stage(block, widths[3], layers[3], stride=2)
+        self.avgpool = nn.AdaptiveAvgPool2d(1)
+        self.fc = nn.Linear(widths[3] * block.expansion, num_classes)
+
+    def _make_stage(self, block, planes: int, blocks: int, stride: int) -> nn.Sequential:
+        layers: List[nn.Module] = [block(self.in_planes, planes, stride)]
+        self.in_planes = planes * block.expansion
+        for _ in range(blocks - 1):
+            layers.append(block(self.in_planes, planes, 1))
+        return nn.Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = F.relu(self.bn1(self.conv1(x)))
+        out = self.maxpool(out)
+        out = self.layer1(out)
+        out = self.layer2(out)
+        out = self.layer3(out)
+        out = self.layer4(out)
+        out = self.avgpool(out)
+        out = out.flatten(1)
+        return self.fc(out)
+
+
+def resnet18(num_classes: int = 1000, width_mult: float = 1.0, **kwargs) -> ResNetImageNet:
+    """ResNet-18 (Table III)."""
+    return ResNetImageNet(BasicBlock, [2, 2, 2, 2], num_classes, width_mult, **kwargs)
+
+
+def resnet34(num_classes: int = 1000, width_mult: float = 1.0, **kwargs) -> ResNetImageNet:
+    """ResNet-34."""
+    return ResNetImageNet(BasicBlock, [3, 4, 6, 3], num_classes, width_mult, **kwargs)
+
+
+def resnet50(num_classes: int = 1000, width_mult: float = 1.0, **kwargs) -> ResNetImageNet:
+    """ResNet-50 (Table III)."""
+    return ResNetImageNet(Bottleneck, [3, 4, 6, 3], num_classes, width_mult, **kwargs)

@@ -1,0 +1,45 @@
+"""Small reference models used by tests and quick examples."""
+
+from __future__ import annotations
+
+from repro import nn
+from repro.autograd.tensor import Tensor
+from repro.nn import functional as F
+
+
+class SimpleConvNet(nn.Module):
+    """Tiny two-stage convolutional classifier for unit/integration tests.
+
+    Small enough to train in seconds on CPU yet structurally representative:
+    convolutions with batch normalization feeding a linear classifier, so the
+    quantization wrappers and CSQ conversion exercise the same code paths as
+    the full ResNet/VGG models.
+    """
+
+    def __init__(self, num_classes: int = 10, in_channels: int = 3, width: int = 8) -> None:
+        super().__init__()
+        self.conv1 = nn.Conv2d(in_channels, width, 3, padding=1, bias=False)
+        self.bn1 = nn.BatchNorm2d(width)
+        self.conv2 = nn.Conv2d(width, width * 2, 3, stride=2, padding=1, bias=False)
+        self.bn2 = nn.BatchNorm2d(width * 2)
+        self.avgpool = nn.AdaptiveAvgPool2d(1)
+        self.fc = nn.Linear(width * 2, num_classes)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = F.relu(self.bn1(self.conv1(x)))
+        out = F.relu(self.bn2(self.conv2(out)))
+        out = self.avgpool(out)
+        out = out.flatten(1)
+        return self.fc(out)
+
+
+class TinyMLP(nn.Module):
+    """Two-layer perceptron for the smallest tests."""
+
+    def __init__(self, in_features: int = 16, hidden: int = 32, num_classes: int = 4) -> None:
+        super().__init__()
+        self.fc1 = nn.Linear(in_features, hidden)
+        self.fc2 = nn.Linear(hidden, num_classes)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc2(F.relu(self.fc1(x)))

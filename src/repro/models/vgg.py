@@ -1,0 +1,80 @@
+"""VGG with batch normalization (Simonyan & Zisserman, 2014).
+
+VGG19BN is the paper's second CIFAR-10 model (Table II).  The classifier is
+the single-linear-layer variant commonly used for CIFAR (features → global
+pool → fc), matching the compression-ratio accounting of the paper, which is
+dominated by the convolutional layers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro import nn
+from repro.autograd.tensor import Tensor
+
+# Standard VGG configurations; numbers are channel widths, "M" is max-pooling.
+_CFGS: Dict[str, List[Union[int, str]]] = {
+    "vgg11": [64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"],
+    "vgg16": [64, 64, "M", 128, 128, "M", 256, 256, 256, "M",
+              512, 512, 512, "M", 512, 512, 512, "M"],
+    "vgg19": [64, 64, "M", 128, 128, "M", 256, 256, 256, 256, "M",
+              512, 512, 512, 512, "M", 512, 512, 512, 512, "M"],
+}
+
+
+def _scaled(width: int, width_mult: float) -> int:
+    return max(4, int(round(width * width_mult)))
+
+
+class VGG(nn.Module):
+    """VGG backbone with batch normalization and a linear classifier head."""
+
+    def __init__(
+        self,
+        cfg_name: str = "vgg19",
+        num_classes: int = 10,
+        width_mult: float = 1.0,
+        in_channels: int = 3,
+    ) -> None:
+        super().__init__()
+        if cfg_name not in _CFGS:
+            raise ValueError(f"Unknown VGG configuration {cfg_name!r}; choose from {sorted(_CFGS)}")
+        self.cfg_name = cfg_name
+        layers: List[nn.Module] = []
+        channels = in_channels
+        last_width = channels
+        for item in _CFGS[cfg_name]:
+            if item == "M":
+                layers.append(nn.MaxPool2d(2, 2))
+            else:
+                width = _scaled(int(item), width_mult)
+                layers.append(nn.Conv2d(channels, width, 3, padding=1, bias=False))
+                layers.append(nn.BatchNorm2d(width))
+                layers.append(nn.ReLU())
+                channels = width
+                last_width = width
+        self.features = nn.Sequential(*layers)
+        self.avgpool = nn.AdaptiveAvgPool2d(1)
+        self.classifier = nn.Linear(last_width, num_classes)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.features(x)
+        out = self.avgpool(out)
+        out = out.flatten(1)
+        return self.classifier(out)
+
+
+def vgg11_bn(num_classes: int = 10, width_mult: float = 1.0, **kwargs) -> VGG:
+    """VGG11 with batch normalization."""
+    return VGG("vgg11", num_classes, width_mult, **kwargs)
+
+
+def vgg16_bn(num_classes: int = 10, width_mult: float = 1.0, **kwargs) -> VGG:
+    """VGG16 with batch normalization."""
+    return VGG("vgg16", num_classes, width_mult, **kwargs)
+
+
+def vgg19_bn(num_classes: int = 10, width_mult: float = 1.0, **kwargs) -> VGG:
+    """VGG19 with batch normalization (Table II model)."""
+    return VGG("vgg19", num_classes, width_mult, **kwargs)

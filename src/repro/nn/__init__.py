@@ -1,0 +1,47 @@
+"""Neural-network layer library built on :mod:`repro.autograd`.
+
+The API deliberately mirrors ``torch.nn`` for the subset of functionality the
+CSQ reproduction needs (convolutional classifiers with batch normalization),
+so that the model definitions in :mod:`repro.models` read like the original
+PyTorch code and the quantized layer wrappers in :mod:`repro.quant` /
+:mod:`repro.csq` can be drop-in replacements for ``Conv2d`` / ``Linear``.
+"""
+
+from repro.nn.parameter import Parameter
+from repro.nn.module import Module
+from repro.nn.container import Sequential, ModuleList
+from repro.nn.linear import Linear
+from repro.nn.conv import Conv2d
+from repro.nn.batchnorm import BatchNorm2d, BatchNorm1d
+from repro.nn.pooling import MaxPool2d, AvgPool2d, AdaptiveAvgPool2d
+from repro.nn.activation import ReLU, LeakyReLU, Sigmoid, Tanh
+from repro.nn.dropout import Dropout
+from repro.nn.flatten import Flatten, Identity
+from repro.nn.loss import CrossEntropyLoss, MSELoss
+from repro.nn import init
+from repro.nn import functional
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Sequential",
+    "ModuleList",
+    "Linear",
+    "Conv2d",
+    "BatchNorm2d",
+    "BatchNorm1d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "AdaptiveAvgPool2d",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Dropout",
+    "Flatten",
+    "Identity",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "init",
+    "functional",
+]

@@ -1,0 +1,98 @@
+"""Batch normalization layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+
+
+class _BatchNorm(Module):
+    """Shared implementation for 1-D and 2-D batch normalization.
+
+    In training mode the batch statistics are used and the running
+    estimates are updated with exponential moving averages; in eval mode the
+    running estimates are used.  The normalization itself is expressed with
+    differentiable ops so gradients flow to ``weight``/``bias`` and the input.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1,
+                 affine: bool = True) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.affine = affine
+        if affine:
+            self.weight = Parameter(np.ones(num_features, dtype=np.float32))
+            self.bias = Parameter(np.zeros(num_features, dtype=np.float32))
+        else:
+            self.register_parameter("weight", None)
+            self.register_parameter("bias", None)
+        self.register_buffer("running_mean", Tensor(np.zeros(num_features, dtype=np.float32)))
+        self.register_buffer("running_var", Tensor(np.ones(num_features, dtype=np.float32)))
+        self.register_buffer("num_batches_tracked", Tensor(np.zeros(1, dtype=np.float32)))
+
+    def _reduce_axes(self, x: Tensor):
+        raise NotImplementedError
+
+    def _param_shape(self, x: Tensor):
+        raise NotImplementedError
+
+    def forward(self, x: Tensor) -> Tensor:
+        axes = self._reduce_axes(x)
+        shape = self._param_shape(x)
+        if self.training:
+            batch_mean = ops.mean(x, axis=axes, keepdims=True)
+            centered = ops.sub(x, batch_mean)
+            batch_var = ops.mean(ops.mul(centered, centered), axis=axes, keepdims=True)
+            # Update running statistics outside the graph.
+            count = x.size / self.num_features
+            unbiased = batch_var.data * count / max(count - 1.0, 1.0)
+            self.running_mean.data = (
+                (1.0 - self.momentum) * self.running_mean.data
+                + self.momentum * batch_mean.data.reshape(-1)
+            )
+            self.running_var.data = (
+                (1.0 - self.momentum) * self.running_var.data
+                + self.momentum * unbiased.reshape(-1)
+            )
+            self.num_batches_tracked.data = self.num_batches_tracked.data + 1
+            inv_std = ops.pow(ops.add(batch_var, self.eps), -0.5)
+            normalized = ops.mul(centered, inv_std)
+        else:
+            mean = Tensor(self.running_mean.data.reshape(shape))
+            var = Tensor(self.running_var.data.reshape(shape))
+            inv_std = ops.pow(ops.add(var, self.eps), -0.5)
+            normalized = ops.mul(ops.sub(x, mean), inv_std)
+        if self.affine:
+            weight = ops.reshape(self.weight, shape)
+            bias = ops.reshape(self.bias, shape)
+            return ops.add(ops.mul(normalized, weight), bias)
+        return normalized
+
+    def extra_repr(self) -> str:
+        return f"{self.num_features}, eps={self.eps}, momentum={self.momentum}, affine={self.affine}"
+
+
+class BatchNorm2d(_BatchNorm):
+    """Batch normalization over the channel dimension of NCHW tensors."""
+
+    def _reduce_axes(self, x: Tensor):
+        return (0, 2, 3)
+
+    def _param_shape(self, x: Tensor):
+        return (1, self.num_features, 1, 1)
+
+
+class BatchNorm1d(_BatchNorm):
+    """Batch normalization over the feature dimension of (N, C) tensors."""
+
+    def _reduce_axes(self, x: Tensor):
+        return (0,)
+
+    def _param_shape(self, x: Tensor):
+        return (1, self.num_features)

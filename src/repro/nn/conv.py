@@ -1,0 +1,49 @@
+"""2-D convolution layer."""
+
+from __future__ import annotations
+
+from repro.autograd.tensor import Tensor
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+
+
+class Conv2d(Module):
+    """2-D cross-correlation over NCHW inputs.
+
+    Only square kernels, integer stride and symmetric zero padding are
+    supported, which covers every architecture used in the paper (ResNet and
+    VGG families).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        weight_shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(init.kaiming_normal(weight_shape, mode="fan_out"))
+        if bias:
+            self.bias = Parameter(init.uniform_fan_in_bias(weight_shape, out_channels))
+        else:
+            self.register_parameter("bias", None)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def extra_repr(self) -> str:
+        return (
+            f"{self.in_channels}, {self.out_channels}, kernel_size={self.kernel_size}, "
+            f"stride={self.stride}, padding={self.padding}, bias={self.bias is not None}"
+        )

@@ -1,0 +1,30 @@
+"""Dropout regularization layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+
+class Dropout(Module):
+    """Inverted dropout: active in training mode, identity in eval mode."""
+
+    def __init__(self, p: float = 0.5, seed: int | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(x.dtype) / keep
+        return ops.mul(x, Tensor(mask))
+
+    def extra_repr(self) -> str:
+        return f"p={self.p}"

@@ -1,0 +1,27 @@
+"""Shape-manipulation layers."""
+
+from __future__ import annotations
+
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+
+class Flatten(Module):
+    """Flatten all dimensions after ``start_dim`` (default: keep batch dim)."""
+
+    def __init__(self, start_dim: int = 1) -> None:
+        super().__init__()
+        self.start_dim = start_dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten(self.start_dim)
+
+    def extra_repr(self) -> str:
+        return f"start_dim={self.start_dim}"
+
+
+class Identity(Module):
+    """No-op layer, useful as a placeholder (e.g. empty downsample path)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x

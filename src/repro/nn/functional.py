@@ -1,0 +1,93 @@
+"""Stateless functional forms of layer operations.
+
+Thin aliases over :mod:`repro.autograd.ops` plus loss helpers; mirrors
+``torch.nn.functional`` naming so model/layer code reads familiarly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor, ensure_tensor
+
+relu = ops.relu
+leaky_relu = ops.leaky_relu
+sigmoid = ops.sigmoid
+tanh = ops.tanh
+softmax = ops.softmax
+log_softmax = ops.log_softmax
+conv2d = ops.conv2d
+max_pool2d = ops.max_pool2d
+avg_pool2d = ops.avg_pool2d
+adaptive_avg_pool2d = ops.adaptive_avg_pool2d
+pad2d = ops.pad2d
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias``."""
+    out = ops.matmul(x, ops.transpose(weight))
+    if bias is not None:
+        out = ops.add(out, bias)
+    return out
+
+
+def cross_entropy(
+    logits: Tensor,
+    targets,
+    label_smoothing: float = 0.0,
+    reduction: str = "mean",
+) -> Tensor:
+    """Cross-entropy between ``logits`` (N, C) and integer class ``targets`` (N,).
+
+    Supports label smoothing as used in some quantization-aware training
+    recipes; ``reduction`` is ``"mean"``, ``"sum"`` or ``"none"``.
+    """
+    logits = ensure_tensor(logits)
+    target_idx = np.asarray(targets if not isinstance(targets, Tensor) else targets.data).astype(int)
+    num_classes = logits.shape[-1]
+    log_probs = ops.log_softmax(logits, axis=-1)
+
+    one_hot = np.zeros((target_idx.shape[0], num_classes), dtype=logits.dtype)
+    one_hot[np.arange(target_idx.shape[0]), target_idx] = 1.0
+    if label_smoothing > 0.0:
+        one_hot = one_hot * (1.0 - label_smoothing) + label_smoothing / num_classes
+
+    per_sample = ops.neg(ops.sum(ops.mul(log_probs, Tensor(one_hot)), axis=-1))
+    if reduction == "mean":
+        return ops.mean(per_sample)
+    if reduction == "sum":
+        return ops.sum(per_sample)
+    if reduction == "none":
+        return per_sample
+    raise ValueError(f"Unknown reduction {reduction!r}")
+
+
+def mse_loss(prediction: Tensor, target, reduction: str = "mean") -> Tensor:
+    """Mean squared error."""
+    prediction = ensure_tensor(prediction)
+    target = ensure_tensor(target)
+    diff = ops.sub(prediction, target)
+    squared = ops.mul(diff, diff)
+    if reduction == "mean":
+        return ops.mean(squared)
+    if reduction == "sum":
+        return ops.sum(squared)
+    if reduction == "none":
+        return squared
+    raise ValueError(f"Unknown reduction {reduction!r}")
+
+
+def accuracy(logits: Tensor, targets, topk: int = 1) -> float:
+    """Top-k classification accuracy as a plain Python float."""
+    logits_np = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    target_np = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+    target_np = target_np.astype(int)
+    if topk == 1:
+        prediction = logits_np.argmax(axis=-1)
+        return float((prediction == target_np).mean())
+    top = np.argsort(-logits_np, axis=-1)[:, :topk]
+    hits = (top == target_np[:, None]).any(axis=1)
+    return float(hits.mean())

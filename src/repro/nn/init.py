@@ -1,0 +1,83 @@
+"""Weight initializers.
+
+These mirror the PyTorch initializers used by the original CSQ code
+(Kaiming-normal for convolutions, uniform fan-in for linear layers) so the
+models start from a comparable distribution.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+_GLOBAL_RNG = np.random.default_rng(0)
+
+
+def set_init_rng(seed: int) -> None:
+    """Reseed the initializer RNG (used by ``repro.utils.seed.seed_everything``)."""
+    global _GLOBAL_RNG
+    _GLOBAL_RNG = np.random.default_rng(seed)
+
+
+def _fan_in_fan_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) == 2:
+        fan_in, fan_out = shape[1], shape[0]
+    elif len(shape) == 4:
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    else:
+        fan_in = fan_out = int(np.prod(shape[1:])) if len(shape) > 1 else shape[0]
+    return fan_in, fan_out
+
+
+def kaiming_normal(shape: Tuple[int, ...], mode: str = "fan_out", nonlinearity: str = "relu") -> np.ndarray:
+    """He-normal initialization (``kaiming_normal_`` in PyTorch)."""
+    fan_in, fan_out = _fan_in_fan_out(shape)
+    fan = fan_out if mode == "fan_out" else fan_in
+    gain = math.sqrt(2.0) if nonlinearity == "relu" else 1.0
+    std = gain / math.sqrt(fan)
+    return _GLOBAL_RNG.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def kaiming_uniform(shape: Tuple[int, ...], a: float = math.sqrt(5)) -> np.ndarray:
+    """He-uniform initialization (PyTorch's default for Conv/Linear weight)."""
+    fan_in, _ = _fan_in_fan_out(shape)
+    gain = math.sqrt(2.0 / (1.0 + a ** 2))
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return _GLOBAL_RNG.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_uniform(shape: Tuple[int, ...], gain: float = 1.0) -> np.ndarray:
+    """Glorot-uniform initialization."""
+    fan_in, fan_out = _fan_in_fan_out(shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return _GLOBAL_RNG.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def uniform_fan_in_bias(weight_shape: Tuple[int, ...], bias_size: int) -> np.ndarray:
+    """PyTorch default bias init: uniform in ``±1/sqrt(fan_in)``."""
+    fan_in, _ = _fan_in_fan_out(weight_shape)
+    bound = 1.0 / math.sqrt(fan_in) if fan_in > 0 else 0.0
+    return _GLOBAL_RNG.uniform(-bound, bound, size=(bias_size,)).astype(np.float32)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)
+
+
+def normal(shape: Tuple[int, ...], mean: float = 0.0, std: float = 1.0) -> np.ndarray:
+    return _GLOBAL_RNG.normal(mean, std, size=shape).astype(np.float32)
+
+
+def constant_(tensor: Tensor, value: float) -> None:
+    """Fill ``tensor`` in place with ``value``."""
+    tensor.data = np.full_like(tensor.data, value)

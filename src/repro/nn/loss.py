@@ -1,0 +1,35 @@
+"""Loss modules."""
+
+from __future__ import annotations
+
+from repro.autograd.tensor import Tensor
+from repro.nn import functional as F
+from repro.nn.module import Module
+
+
+class CrossEntropyLoss(Module):
+    """Cross-entropy over logits with optional label smoothing."""
+
+    def __init__(self, label_smoothing: float = 0.0, reduction: str = "mean") -> None:
+        super().__init__()
+        self.label_smoothing = label_smoothing
+        self.reduction = reduction
+
+    def forward(self, logits: Tensor, targets) -> Tensor:
+        return F.cross_entropy(
+            logits, targets, label_smoothing=self.label_smoothing, reduction=self.reduction
+        )
+
+    def extra_repr(self) -> str:
+        return f"label_smoothing={self.label_smoothing}, reduction={self.reduction!r}"
+
+
+class MSELoss(Module):
+    """Mean squared error loss."""
+
+    def __init__(self, reduction: str = "mean") -> None:
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, prediction: Tensor, target) -> Tensor:
+        return F.mse_loss(prediction, target, reduction=self.reduction)

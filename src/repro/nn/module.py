@@ -1,0 +1,192 @@
+"""Base class for all neural-network modules."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn.parameter import Parameter
+
+
+class Module:
+    """Base class providing parameter registration and traversal.
+
+    Subclasses define parameters and submodules as attributes and implement
+    :meth:`forward`.  The base class provides:
+
+    * ``parameters()`` / ``named_parameters()`` — recursive traversal used by
+      optimizers and the quantization machinery,
+    * ``modules()`` / ``named_modules()`` — used by model conversion
+      (float → CSQ / QAT layers),
+    * ``train()`` / ``eval()`` — mode switch consumed by BatchNorm/Dropout,
+    * ``state_dict()`` / ``load_state_dict()`` — checkpointing,
+    * ``zero_grad()`` and ``apply()``.
+    """
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self._buffers: "OrderedDict[str, Tensor]" = OrderedDict()
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Attribute registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, tensor: Tensor) -> None:
+        """Register a non-trainable tensor that is part of the module state.
+
+        Buffers (e.g. BatchNorm running statistics) are saved in
+        ``state_dict`` but are not returned by ``parameters()``.
+        """
+        self._buffers[name] = tensor
+        object.__setattr__(self, name, tensor)
+
+    def register_parameter(self, name: str, param: Optional[Parameter]) -> None:
+        if param is None:
+            self._parameters.pop(name, None)
+            object.__setattr__(self, name, None)
+        else:
+            self._parameters[name] = param
+            object.__setattr__(self, name, param)
+
+    def add_module(self, name: str, module: "Module") -> None:
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def parameters(self) -> Iterator[Parameter]:
+        for _, param in self.named_parameters():
+            yield param
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for module_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{module_name}.")
+
+    def buffers(self) -> Iterator[Tensor]:
+        for _, buf in self.named_buffers():
+            yield buf
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, Tensor]]:
+        for name, buf in self._buffers.items():
+            yield (f"{prefix}{name}", buf)
+        for module_name, module in self._modules.items():
+            yield from module.named_buffers(prefix=f"{prefix}{module_name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        for _, module in self.named_modules():
+            yield module
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield (prefix.rstrip("."), self)
+        for name, module in self._modules.items():
+            child_prefix = f"{prefix}{name}."
+            yield from module.named_modules(prefix=child_prefix)
+
+    def children(self) -> Iterator["Module"]:
+        yield from self._modules.values()
+
+    def named_children(self) -> Iterator[Tuple[str, "Module"]]:
+        yield from self._modules.items()
+
+    def apply(self, fn: Callable[["Module"], None]) -> "Module":
+        """Apply ``fn`` to every submodule (post-order) and to ``self``."""
+        for module in self._modules.values():
+            module.apply(fn)
+        fn(self)
+        return self
+
+    # ------------------------------------------------------------------
+    # Modes and gradients
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def state_dict(self, prefix: str = "") -> Dict[str, np.ndarray]:
+        """Return a flat ``{name: ndarray}`` mapping of parameters and buffers."""
+        state: Dict[str, np.ndarray] = {}
+        for name, param in self._parameters.items():
+            state[f"{prefix}{name}"] = param.data.copy()
+        for name, buf in self._buffers.items():
+            state[f"{prefix}{name}"] = buf.data.copy()
+        for module_name, module in self._modules.items():
+            state.update(module.state_dict(prefix=f"{prefix}{module_name}."))
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load parameters and buffers from ``state`` (as produced by ``state_dict``)."""
+        own: Dict[str, Tensor] = {}
+        for name, param in self.named_parameters():
+            own[name] = param
+        for name, buf in self.named_buffers():
+            own[name] = buf
+        missing = [k for k in own if k not in state]
+        unexpected = [k for k in state if k not in own]
+        if strict and (missing or unexpected):
+            raise KeyError(
+                f"state_dict mismatch: missing={missing}, unexpected={unexpected}"
+            )
+        for name, tensor in own.items():
+            if name in state:
+                value = np.asarray(state[name])
+                if value.shape != tensor.data.shape:
+                    raise ValueError(
+                        f"shape mismatch for '{name}': "
+                        f"checkpoint {value.shape} vs module {tensor.data.shape}"
+                    )
+                tensor.data = value.astype(tensor.data.dtype).copy()
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError(f"{type(self).__name__} must implement forward()")
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def extra_repr(self) -> str:
+        return ""
+
+    def __repr__(self) -> str:
+        lines = [f"{type(self).__name__}({self.extra_repr()}"]
+        for name, module in self._modules.items():
+            child = repr(module).replace("\n", "\n  ")
+            lines.append(f"  ({name}): {child}")
+        lines.append(")")
+        return "\n".join(lines) if len(lines) > 2 else f"{type(self).__name__}({self.extra_repr()})"
+
+    def num_parameters(self, trainable_only: bool = False) -> int:
+        """Total number of scalar parameters in the module tree."""
+        total = 0
+        for param in self.parameters():
+            if trainable_only and not param.requires_grad:
+                continue
+            total += param.size
+        return total

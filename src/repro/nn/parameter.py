@@ -1,0 +1,23 @@
+"""Trainable parameter type."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.autograd.tensor import ArrayLike, Tensor
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is registered as trainable by :class:`Module`.
+
+    Assigning a ``Parameter`` to an attribute of a ``Module`` automatically
+    adds it to ``module.parameters()`` and therefore to the optimizer.  The
+    only difference from a plain tensor is the type tag and that
+    ``requires_grad`` defaults to ``True``.
+    """
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = True, name: Optional[str] = None):
+        super().__init__(data, requires_grad=requires_grad, name=name)
+
+    def __repr__(self) -> str:
+        return f"Parameter(shape={self.shape}, requires_grad={self.requires_grad})"

@@ -1,0 +1,30 @@
+"""Optimizers and learning-rate schedulers.
+
+Provides the training recipe used by the paper: SGD with momentum and weight
+decay, a cosine-annealing learning-rate schedule, and a linear warmup for the
+first epochs of ImageNet-scale runs.
+"""
+
+from repro.optim.optimizer import Optimizer
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam
+from repro.optim.lr_scheduler import (
+    LRScheduler,
+    CosineAnnealingLR,
+    StepLR,
+    LinearWarmup,
+    WarmupCosine,
+    ConstantLR,
+)
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "LRScheduler",
+    "CosineAnnealingLR",
+    "StepLR",
+    "LinearWarmup",
+    "WarmupCosine",
+    "ConstantLR",
+]

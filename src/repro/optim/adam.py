@@ -1,0 +1,61 @@
+"""Adam optimizer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim.optimizer import Optimizer, ParamsLike
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Kingma & Ba, 2015).
+
+    Not used by the paper's main recipe, but provided because the gate
+    parameters of continuous-sparsification methods are sometimes trained
+    with Adam in follow-up work and the ablation benches expose it as an
+    option.
+    """
+
+    def __init__(
+        self,
+        params: ParamsLike,
+        lr: float = 1e-3,
+        betas=(0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if lr < 0.0:
+            raise ValueError(f"Invalid learning rate: {lr}")
+        if not 0.0 <= betas[0] < 1.0 or not 0.0 <= betas[1] < 1.0:
+            raise ValueError(f"Invalid beta parameters: {betas}")
+        defaults = dict(lr=lr, betas=tuple(betas), eps=eps, weight_decay=weight_decay)
+        super().__init__(params, defaults)
+
+    def step(self) -> None:
+        for group in self.param_groups:
+            lr = group["lr"]
+            beta1, beta2 = group["betas"]
+            eps = group["eps"]
+            weight_decay = group["weight_decay"]
+            for param in group["params"]:
+                if param.grad is None:
+                    continue
+                grad = param.grad
+                if weight_decay != 0.0:
+                    grad = grad + weight_decay * param.data
+                state = self.state.setdefault(id(param), {})
+                if not state:
+                    state["step"] = 0
+                    state["exp_avg"] = np.zeros_like(param.data)
+                    state["exp_avg_sq"] = np.zeros_like(param.data)
+                state["step"] += 1
+                step = state["step"]
+                exp_avg = state["exp_avg"]
+                exp_avg_sq = state["exp_avg_sq"]
+                exp_avg[...] = beta1 * exp_avg + (1.0 - beta1) * grad
+                exp_avg_sq[...] = beta2 * exp_avg_sq + (1.0 - beta2) * grad * grad
+                bias_correction1 = 1.0 - beta1 ** step
+                bias_correction2 = 1.0 - beta2 ** step
+                denom = np.sqrt(exp_avg_sq / bias_correction2) + eps
+                update = (exp_avg / bias_correction1) / denom
+                param.data = param.data - lr * update.astype(param.data.dtype)

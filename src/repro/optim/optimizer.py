@@ -1,0 +1,59 @@
+"""Optimizer base class with parameter groups."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Union
+
+from repro.nn.parameter import Parameter
+
+ParamsLike = Union[Iterable[Parameter], Iterable[Dict]]
+
+
+class Optimizer:
+    """Base optimizer managing parameter groups.
+
+    Parameter groups work like PyTorch's: each group is a dict with a
+    ``"params"`` list plus per-group hyperparameter overrides.  CSQ uses this
+    to give the gate parameters (``m_B``) and the bit representations
+    (``m_p``, ``m_n``, ``s``) different weight-decay settings.
+    """
+
+    def __init__(self, params: ParamsLike, defaults: Dict) -> None:
+        self.defaults = dict(defaults)
+        self.param_groups: List[Dict] = []
+        params = list(params)
+        if not params:
+            raise ValueError("optimizer got an empty parameter list")
+        if isinstance(params[0], dict):
+            for group in params:
+                self.add_param_group(dict(group))
+        else:
+            self.add_param_group({"params": params})
+        self.state: Dict[int, Dict] = {}
+
+    def add_param_group(self, group: Dict) -> None:
+        if "params" not in group:
+            raise ValueError("param group must contain a 'params' key")
+        group["params"] = list(group["params"])
+        for key, value in self.defaults.items():
+            group.setdefault(key, value)
+        self.param_groups.append(group)
+
+    def zero_grad(self) -> None:
+        """Clear gradients of all managed parameters."""
+        for group in self.param_groups:
+            for param in group["params"]:
+                param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    @property
+    def lr(self) -> float:
+        """Learning rate of the first parameter group (convenience accessor)."""
+        return self.param_groups[0]["lr"]
+
+    def set_lr(self, lr: float) -> None:
+        """Set the learning rate of every parameter group."""
+        for group in self.param_groups:
+            group["lr"] = lr

@@ -1,0 +1,64 @@
+"""Quantization substrate and uniform-precision baselines.
+
+This package provides everything the paper treats as "standard quantization
+machinery":
+
+* :mod:`repro.quant.functional` — uniform symmetric quantization and the
+  bit-plane decomposition of Eq. (1),
+* :mod:`repro.quant.ste` — straight-through estimators (round / sign / clamp),
+* :mod:`repro.quant.observers` — activation/weight range observers,
+* :mod:`repro.quant.fake_quant` — STE fake-quantizers for weights and
+  activations,
+* :mod:`repro.quant.act_quant` — the uniform activation quantizer shared by
+  every method (the paper quantizes activations uniformly and reports the
+  precision in the "A-Bits" column),
+* :mod:`repro.quant.dorefa`, :mod:`repro.quant.pact`,
+  :mod:`repro.quant.lqnets` — uniform-precision baseline quantizers,
+* :mod:`repro.quant.qconv` / :mod:`repro.quant.qlinear` — QAT layer wrappers,
+* :mod:`repro.quant.scheme` — per-layer precision bookkeeping and
+  compression-ratio accounting used by all tables.
+"""
+
+from repro.quant.functional import (
+    symmetric_scale,
+    quantize_dequantize,
+    quantize_to_int,
+    bit_decompose,
+    bit_reconstruct,
+    quantization_error,
+)
+from repro.quant.ste import ste_round, ste_sign, ste_clamp
+from repro.quant.observers import MinMaxObserver, MovingAverageMinMaxObserver
+from repro.quant.fake_quant import FakeQuantize, WeightFakeQuantize
+from repro.quant.act_quant import ActivationQuantizer
+from repro.quant.dorefa import DoReFaWeightQuantizer, DoReFaActivationQuantizer
+from repro.quant.pact import PACTActivationQuantizer
+from repro.quant.lqnets import LQNetsWeightQuantizer
+from repro.quant.qconv import QConv2d
+from repro.quant.qlinear import QLinear
+from repro.quant.scheme import LayerQuantSpec, QuantizationScheme
+
+__all__ = [
+    "symmetric_scale",
+    "quantize_dequantize",
+    "quantize_to_int",
+    "bit_decompose",
+    "bit_reconstruct",
+    "quantization_error",
+    "ste_round",
+    "ste_sign",
+    "ste_clamp",
+    "MinMaxObserver",
+    "MovingAverageMinMaxObserver",
+    "FakeQuantize",
+    "WeightFakeQuantize",
+    "ActivationQuantizer",
+    "DoReFaWeightQuantizer",
+    "DoReFaActivationQuantizer",
+    "PACTActivationQuantizer",
+    "LQNetsWeightQuantizer",
+    "QConv2d",
+    "QLinear",
+    "LayerQuantSpec",
+    "QuantizationScheme",
+]

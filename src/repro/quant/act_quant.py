@@ -1,0 +1,43 @@
+"""Uniform activation quantizer shared by every method in the paper.
+
+The paper states that CSQ "does not control activation quantization" and
+quantizes activations uniformly throughout training with the precision
+reported in the "A-Bits" column.  This module is that shared component: every
+quantized layer (baseline or CSQ) quantizes its *input* activations with it.
+
+Two modes are supported:
+
+* ``mode="observer"`` — clip to a moving-average observed range (default),
+* ``mode="pact"`` — learnable clipping threshold (PACT), used when
+  reproducing the PACT baseline rows.
+"""
+
+from __future__ import annotations
+
+from repro import nn
+from repro.autograd.tensor import Tensor
+from repro.quant.fake_quant import FakeQuantize
+from repro.quant.pact import PACTActivationQuantizer
+
+
+class ActivationQuantizer(nn.Module):
+    """Quantize activations to ``bits`` bits; identity when ``bits >= 32``."""
+
+    def __init__(self, bits: int = 32, mode: str = "observer") -> None:
+        super().__init__()
+        self.bits = bits
+        self.mode = mode
+        if bits >= 32:
+            self.impl = nn.Identity()
+        elif mode == "observer":
+            self.impl = FakeQuantize(bits=bits)
+        elif mode == "pact":
+            self.impl = PACTActivationQuantizer(bits=bits)
+        else:
+            raise ValueError(f"Unknown activation quantization mode {mode!r}")
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.impl(x)
+
+    def extra_repr(self) -> str:
+        return f"bits={self.bits}, mode={self.mode!r}"

@@ -1,0 +1,65 @@
+"""DoReFa-Net weight and activation quantizers (Zhou et al., 2016).
+
+DoReFa quantizes weights by squashing them with ``tanh``, normalizing to
+``[0, 1]``, rounding on a uniform grid with STE, and mapping back to
+``[-1, 1]``.  Activations are clipped to ``[0, 1]`` and quantized uniformly.
+Used as one of the uniform-precision baselines in Tables I and III.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.quant.ste import ste_round
+
+
+def _quantize_k(x: Tensor, bits: int) -> Tensor:
+    """Quantize a [0, 1] tensor to ``2**bits - 1`` levels with STE rounding."""
+    levels = 2 ** bits - 1
+    return ops.div(ste_round(ops.mul(x, float(levels))), float(levels))
+
+
+class DoReFaWeightQuantizer(nn.Module):
+    """DoReFa weight transform: tanh squash → [0,1] normalize → quantize → [-1,1]."""
+
+    def __init__(self, bits: int = 4) -> None:
+        super().__init__()
+        if bits < 1:
+            raise ValueError(f"bits must be >= 1, got {bits}")
+        self.bits = bits
+
+    def forward(self, weight: Tensor) -> Tensor:
+        if self.bits >= 32:
+            return weight
+        squashed = ops.tanh(weight)
+        max_abs = float(np.max(np.abs(squashed.data)))
+        if max_abs == 0.0:
+            return weight
+        normalized = ops.add(ops.div(squashed, 2.0 * max_abs), 0.5)
+        quantized = _quantize_k(normalized, self.bits)
+        return ops.mul(ops.sub(ops.mul(quantized, 2.0), 1.0), max_abs)
+
+    def extra_repr(self) -> str:
+        return f"bits={self.bits}"
+
+
+class DoReFaActivationQuantizer(nn.Module):
+    """DoReFa activation transform: clip to [0, 1] then uniform quantization."""
+
+    def __init__(self, bits: int = 4) -> None:
+        super().__init__()
+        if bits < 1:
+            raise ValueError(f"bits must be >= 1, got {bits}")
+        self.bits = bits
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.bits >= 32:
+            return x
+        clipped = ops.clip(x, 0.0, 1.0)
+        return _quantize_k(clipped, self.bits)
+
+    def extra_repr(self) -> str:
+        return f"bits={self.bits}"

@@ -1,0 +1,78 @@
+"""STE fake-quantization modules for weights and activations.
+
+"Fake" quantization simulates fixed-point arithmetic with float tensors: the
+forward pass snaps values onto the quantization grid, the backward pass uses
+the straight-through estimator.  This is the [27]-style quantization-aware
+training that Table IV calls STE-Uniform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.quant.ste import ste_round
+from repro.quant.observers import MovingAverageMinMaxObserver
+
+
+class WeightFakeQuantize(nn.Module):
+    """Symmetric per-tensor weight fake-quantizer with STE gradients.
+
+    Maps weights onto ``2**bits - 1`` signed levels spanning ``[-s, s]`` where
+    ``s = max |w|`` is recomputed every forward pass (the usual QAT choice).
+    ``bits >= 32`` disables quantization.
+    """
+
+    def __init__(self, bits: int = 8) -> None:
+        super().__init__()
+        if bits < 1:
+            raise ValueError(f"bits must be >= 1, got {bits}")
+        self.bits = bits
+
+    def forward(self, weight: Tensor) -> Tensor:
+        if self.bits >= 32:
+            return weight
+        levels = 2 ** self.bits - 1
+        scale = float(np.max(np.abs(weight.data)))
+        if scale == 0.0:
+            return weight
+        normalized = ops.clip(ops.div(weight, scale), -1.0, 1.0)
+        quantized = ops.div(ste_round(ops.mul(normalized, float(levels))), float(levels))
+        return ops.mul(quantized, scale)
+
+    def extra_repr(self) -> str:
+        return f"bits={self.bits}"
+
+
+class FakeQuantize(nn.Module):
+    """Unsigned activation fake-quantizer with an observed clipping range.
+
+    Activations (post-ReLU) are clipped to ``[0, r_max]`` where ``r_max`` comes
+    from a moving-average observer, then quantized to ``2**bits - 1`` levels.
+    ``bits >= 32`` disables quantization (the "FP activations" rows).
+    """
+
+    def __init__(self, bits: int = 8, momentum: float = 0.9) -> None:
+        super().__init__()
+        if bits < 1:
+            raise ValueError(f"bits must be >= 1, got {bits}")
+        self.bits = bits
+        self.observer = MovingAverageMinMaxObserver(momentum=momentum)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.bits >= 32:
+            return x
+        if self.training:
+            self.observer.observe(x.data)
+        _, upper = self.observer.range()
+        upper = max(upper, 1e-5)
+        levels = 2 ** self.bits - 1
+        clipped = ops.clip(x, 0.0, upper)
+        normalized = ops.div(clipped, upper)
+        quantized = ops.div(ste_round(ops.mul(normalized, float(levels))), float(levels))
+        return ops.mul(quantized, upper)
+
+    def extra_repr(self) -> str:
+        return f"bits={self.bits}"

@@ -1,0 +1,91 @@
+"""Uniform quantization primitives and the bit-plane representation of Eq. (1).
+
+All functions here operate on plain NumPy arrays (no autograd): they are the
+reference semantics that both the STE baselines and the CSQ freezing code are
+checked against in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def symmetric_scale(weight: np.ndarray) -> float:
+    """Per-tensor symmetric scale ``s = max |w|``.
+
+    The paper's linear symmetric quantization maps the weight range
+    ``[-s, s]`` onto the signed integer grid; a zero tensor gets scale 1 to
+    avoid division by zero.
+    """
+    scale = float(np.max(np.abs(weight))) if weight.size else 0.0
+    return scale if scale > 0.0 else 1.0
+
+
+def quantize_to_int(weight: np.ndarray, bits: int, scale: float | None = None) -> Tuple[np.ndarray, float]:
+    """Quantize to signed integers in ``[-(2^n - 1), 2^n - 1]`` magnitude form.
+
+    Following Eq. (1), an ``n``-bit layer stores an unsigned ``n``-bit
+    magnitude for the positive part and another for the negative part, i.e.
+    integer values in ``[-(2^n - 1), (2^n - 1)]`` after the subtraction.
+
+    Returns the integer tensor and the scale used.
+    """
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    if scale is None:
+        scale = symmetric_scale(weight)
+    levels = 2 ** bits - 1
+    q = np.round(np.clip(weight / scale, -1.0, 1.0) * levels)
+    return q.astype(np.int64), scale
+
+
+def quantize_dequantize(weight: np.ndarray, bits: int, scale: float | None = None) -> np.ndarray:
+    """Round-trip uniform symmetric quantization (the QAT forward pass)."""
+    q, used_scale = quantize_to_int(weight, bits, scale)
+    levels = 2 ** bits - 1
+    return (q.astype(weight.dtype) / levels) * used_scale
+
+
+def bit_decompose(weight: np.ndarray, bits: int, scale: float | None = None) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Decompose a weight tensor into positive/negative bit planes (Eq. 1).
+
+    Returns ``(w_p, w_n, scale)`` where ``w_p`` and ``w_n`` have shape
+    ``(bits, *weight.shape)`` holding binary values, the ``b``-th plane being
+    the ``b``-th bit (LSB first, weight ``2^b``) of the positive / negative
+    magnitude respectively, so that::
+
+        weight ≈ scale / (2**bits - 1) * sum_b (w_p[b] - w_n[b]) * 2**b
+    """
+    q, used_scale = quantize_to_int(weight, bits, scale)
+    positive = np.where(q > 0, q, 0).astype(np.int64)
+    negative = np.where(q < 0, -q, 0).astype(np.int64)
+    planes_p = np.stack([(positive >> b) & 1 for b in range(bits)]).astype(np.float32)
+    planes_n = np.stack([(negative >> b) & 1 for b in range(bits)]).astype(np.float32)
+    return planes_p, planes_n, used_scale
+
+
+def bit_reconstruct(
+    planes_p: np.ndarray,
+    planes_n: np.ndarray,
+    scale: float,
+    bit_mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Rebuild a weight tensor from bit planes, optionally masking bits (Eq. 4).
+
+    ``bit_mask`` is a binary vector over the bit dimension; a masked-out bit
+    contributes nothing, exactly as when CSQ prunes that bit plane.
+    """
+    bits = planes_p.shape[0]
+    weights = (2.0 ** np.arange(bits)).astype(np.float64)
+    if bit_mask is not None:
+        weights = weights * np.asarray(bit_mask, dtype=np.float64)
+    diff = planes_p.astype(np.float64) - planes_n.astype(np.float64)
+    accumulated = np.tensordot(weights, diff, axes=(0, 0))
+    return (scale / (2 ** bits - 1) * accumulated).astype(np.float32)
+
+
+def quantization_error(weight: np.ndarray, bits: int) -> float:
+    """Mean squared error introduced by uniform symmetric quantization."""
+    return float(np.mean((weight - quantize_dequantize(weight, bits)) ** 2))

@@ -1,0 +1,99 @@
+"""LQ-Nets-style learned quantizer (Zhang et al., 2018).
+
+LQ-Nets learns a quantization *basis* ``v ∈ R^n`` per layer; the quantization
+levels are the ``2^n`` signed binary combinations ``sum_b c_b v_b`` with
+``c_b ∈ {-1, +1}``.  The basis is fitted by the Quantization-Error-
+Minimization (QEM) alternating algorithm: assign each weight to its nearest
+level, then solve the least-squares problem for the basis given the
+assignments.  The forward pass snaps weights onto the learned levels with an
+STE gradient.
+
+This reimplementation keeps the per-tensor (layer-wise) variant, which is
+what the paper's comparison rows use.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro import nn
+from repro.autograd.tensor import Tensor
+
+
+class LQNetsWeightQuantizer(nn.Module):
+    """Learned non-uniform weight quantizer with QEM basis updates.
+
+    Parameters
+    ----------
+    bits:
+        Number of basis elements (the weight precision).
+    qem_iterations:
+        Alternating-minimization steps run on every basis refresh.
+    update_interval:
+        Refresh the basis every this many forward passes in training mode
+        (refreshing every step is unnecessary and slow).
+    """
+
+    def __init__(self, bits: int = 3, qem_iterations: int = 3, update_interval: int = 8) -> None:
+        super().__init__()
+        if bits < 1:
+            raise ValueError(f"bits must be >= 1, got {bits}")
+        if bits > 8:
+            raise ValueError("LQ-Nets with more than 8 basis vectors is not supported")
+        self.bits = bits
+        self.qem_iterations = qem_iterations
+        self.update_interval = update_interval
+        self._basis: np.ndarray | None = None
+        self._codes = np.array(list(itertools.product((-1.0, 1.0), repeat=bits)), dtype=np.float32)
+        self._step = 0
+
+    # ------------------------------------------------------------------
+    def _init_basis(self, weight: np.ndarray) -> np.ndarray:
+        # Power-of-two shrinking initialisation spanning the weight range.
+        scale = float(np.max(np.abs(weight))) or 1.0
+        return np.array([scale / (2.0 ** (b + 1)) for b in range(self.bits)], dtype=np.float32)
+
+    def _qem_update(self, weight: np.ndarray) -> None:
+        """Alternate nearest-level assignment and least-squares basis fitting."""
+        flat = weight.reshape(-1).astype(np.float32)
+        basis = self._basis if self._basis is not None else self._init_basis(weight)
+        for _ in range(self.qem_iterations):
+            levels = self._codes @ basis  # (2^n,)
+            assignment = np.abs(flat[:, None] - levels[None, :]).argmin(axis=1)
+            code_matrix = self._codes[assignment]  # (numel, n)
+            gram = code_matrix.T @ code_matrix
+            rhs = code_matrix.T @ flat
+            try:
+                basis = np.linalg.solve(gram + 1e-6 * np.eye(self.bits, dtype=np.float32), rhs)
+            except np.linalg.LinAlgError:
+                basis = np.linalg.lstsq(code_matrix, flat, rcond=None)[0]
+            basis = np.abs(basis.astype(np.float32))
+        self._basis = basis
+
+    def quantize_array(self, weight: np.ndarray) -> np.ndarray:
+        """Snap a NumPy weight array onto the current learned levels."""
+        if self._basis is None:
+            self._qem_update(weight)
+        levels = np.sort(self._codes @ self._basis)
+        flat = weight.reshape(-1)
+        assignment = np.abs(flat[:, None] - levels[None, :]).argmin(axis=1)
+        return levels[assignment].reshape(weight.shape).astype(weight.dtype)
+
+    # ------------------------------------------------------------------
+    def forward(self, weight: Tensor) -> Tensor:
+        if self.bits >= 32:
+            return weight
+        if self.training and self._step % self.update_interval == 0:
+            self._qem_update(weight.data)
+        self._step += 1
+        quantized = self.quantize_array(weight.data)
+
+        def backward(grad: np.ndarray):
+            return (grad,)
+
+        return Tensor._from_op(quantized, (weight,), backward, "lqnets_quantize")
+
+    def extra_repr(self) -> str:
+        return f"bits={self.bits}, qem_iterations={self.qem_iterations}"

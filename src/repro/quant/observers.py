@@ -1,0 +1,57 @@
+"""Range observers for activation quantization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MinMaxObserver:
+    """Track the running min/max of everything observed."""
+
+    def __init__(self) -> None:
+        self.min_val = float("inf")
+        self.max_val = float("-inf")
+        self.observed = False
+
+    def observe(self, values: np.ndarray) -> None:
+        if values.size == 0:
+            return
+        self.min_val = min(self.min_val, float(values.min()))
+        self.max_val = max(self.max_val, float(values.max()))
+        self.observed = True
+
+    def range(self) -> tuple[float, float]:
+        """Observed (min, max); defaults to (0, 1) before any observation."""
+        if not self.observed:
+            return 0.0, 1.0
+        return self.min_val, self.max_val
+
+
+class MovingAverageMinMaxObserver:
+    """Exponential-moving-average min/max observer (smoother than raw min/max)."""
+
+    def __init__(self, momentum: float = 0.9) -> None:
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self.min_val = 0.0
+        self.max_val = 0.0
+        self.observed = False
+
+    def observe(self, values: np.ndarray) -> None:
+        if values.size == 0:
+            return
+        batch_min = float(values.min())
+        batch_max = float(values.max())
+        if not self.observed:
+            self.min_val, self.max_val = batch_min, batch_max
+            self.observed = True
+        else:
+            self.min_val = self.momentum * self.min_val + (1.0 - self.momentum) * batch_min
+            self.max_val = self.momentum * self.max_val + (1.0 - self.momentum) * batch_max
+
+    def range(self) -> tuple[float, float]:
+        """Observed (min, max); defaults to (0, 1) before any observation."""
+        if not self.observed:
+            return 0.0, 1.0
+        return self.min_val, self.max_val

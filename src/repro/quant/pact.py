@@ -1,0 +1,61 @@
+"""PACT: Parameterized Clipping Activation (Choi et al., 2018).
+
+PACT learns the activation clipping threshold ``alpha`` jointly with the
+network.  The activation is ``y = clip(x, 0, alpha)`` followed by uniform
+quantization of ``y / alpha``; the gradient w.r.t. ``alpha`` is the indicator
+of ``x >= alpha`` (the boundary of the clip), and the quantization rounding
+uses the straight-through estimator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.nn.parameter import Parameter
+from repro.quant.ste import ste_round
+
+
+def _pact_clip(x: Tensor, alpha: Tensor) -> Tensor:
+    """Clip ``x`` to ``[0, alpha]`` with the PACT gradient convention.
+
+    dy/dx = 1 inside (0, alpha), 0 outside; dy/dalpha = 1 where x >= alpha.
+    """
+    x_data = x.data
+    alpha_value = float(alpha.data.reshape(-1)[0])
+    out = np.clip(x_data, 0.0, alpha_value)
+
+    def backward(grad: np.ndarray):
+        inside = ((x_data > 0.0) & (x_data < alpha_value)).astype(grad.dtype)
+        above = (x_data >= alpha_value).astype(grad.dtype)
+        grad_x = grad * inside
+        grad_alpha = np.array([(grad * above).sum()], dtype=alpha.data.dtype).reshape(alpha.shape)
+        return grad_x, grad_alpha
+
+    return Tensor._from_op(out, (x, alpha), backward, "pact_clip")
+
+
+class PACTActivationQuantizer(nn.Module):
+    """PACT activation quantization with a learnable clipping level ``alpha``."""
+
+    def __init__(self, bits: int = 4, alpha_init: float = 6.0) -> None:
+        super().__init__()
+        if bits < 1:
+            raise ValueError(f"bits must be >= 1, got {bits}")
+        self.bits = bits
+        self.alpha = Parameter(np.array([alpha_init], dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.bits >= 32:
+            return x
+        clipped = _pact_clip(x, self.alpha)
+        levels = 2 ** self.bits - 1
+        alpha_value = max(float(self.alpha.data.reshape(-1)[0]), 1e-5)
+        normalized = ops.div(clipped, alpha_value)
+        quantized = ops.div(ste_round(ops.mul(normalized, float(levels))), float(levels))
+        return ops.mul(quantized, alpha_value)
+
+    def extra_repr(self) -> str:
+        return f"bits={self.bits}, alpha={float(self.alpha.data.reshape(-1)[0]):.3f}"

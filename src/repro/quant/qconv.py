@@ -1,0 +1,68 @@
+"""Quantization-aware-training convolution wrapper for the uniform baselines."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import nn
+from repro.autograd.tensor import Tensor
+from repro.nn import functional as F
+from repro.nn.module import Module
+
+
+class QConv2d(Module):
+    """Conv2d whose weights (and input activations) pass through quantizers.
+
+    The weight quantizer is any module mapping a weight tensor to its
+    fake-quantized version (``WeightFakeQuantize``, ``DoReFaWeightQuantizer``,
+    ``LQNetsWeightQuantizer`` …).  The activation quantizer, if given,
+    quantizes the layer *input*, matching the convention of the paper's
+    "A-Bits" column.
+    """
+
+    def __init__(
+        self,
+        conv: nn.Conv2d,
+        weight_quantizer: Module,
+        activation_quantizer: Optional[Module] = None,
+    ) -> None:
+        super().__init__()
+        self.conv = conv
+        self.weight_quantizer = weight_quantizer
+        self.activation_quantizer = activation_quantizer if activation_quantizer is not None else nn.Identity()
+
+    @classmethod
+    def from_float(
+        cls,
+        conv: nn.Conv2d,
+        weight_quantizer: Module,
+        activation_quantizer: Optional[Module] = None,
+    ) -> "QConv2d":
+        """Wrap an existing float convolution (weights are shared, not copied)."""
+        return cls(conv, weight_quantizer, activation_quantizer)
+
+    @property
+    def weight(self):
+        return self.conv.weight
+
+    @property
+    def bias(self):
+        return self.conv.bias
+
+    @property
+    def weight_bits(self) -> int:
+        return getattr(self.weight_quantizer, "bits", 32)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.activation_quantizer(x)
+        quantized_weight = self.weight_quantizer(self.conv.weight)
+        return F.conv2d(
+            x,
+            quantized_weight,
+            self.conv.bias,
+            stride=self.conv.stride,
+            padding=self.conv.padding,
+        )
+
+    def extra_repr(self) -> str:
+        return f"weight_bits={self.weight_bits}"

@@ -1,0 +1,55 @@
+"""Quantization-aware-training linear wrapper for the uniform baselines."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import nn
+from repro.autograd.tensor import Tensor
+from repro.nn import functional as F
+from repro.nn.module import Module
+
+
+class QLinear(Module):
+    """Linear layer whose weights (and input activations) pass through quantizers."""
+
+    def __init__(
+        self,
+        linear: nn.Linear,
+        weight_quantizer: Module,
+        activation_quantizer: Optional[Module] = None,
+    ) -> None:
+        super().__init__()
+        self.linear = linear
+        self.weight_quantizer = weight_quantizer
+        self.activation_quantizer = activation_quantizer if activation_quantizer is not None else nn.Identity()
+
+    @classmethod
+    def from_float(
+        cls,
+        linear: nn.Linear,
+        weight_quantizer: Module,
+        activation_quantizer: Optional[Module] = None,
+    ) -> "QLinear":
+        """Wrap an existing float linear layer (weights are shared, not copied)."""
+        return cls(linear, weight_quantizer, activation_quantizer)
+
+    @property
+    def weight(self):
+        return self.linear.weight
+
+    @property
+    def bias(self):
+        return self.linear.bias
+
+    @property
+    def weight_bits(self) -> int:
+        return getattr(self.weight_quantizer, "bits", 32)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.activation_quantizer(x)
+        quantized_weight = self.weight_quantizer(self.linear.weight)
+        return F.linear(x, quantized_weight, self.linear.bias)
+
+    def extra_repr(self) -> str:
+        return f"weight_bits={self.weight_bits}"

@@ -1,0 +1,114 @@
+"""Per-layer precision bookkeeping and compression-ratio accounting.
+
+Every table in the paper reports a weight compression ratio "Comp(×)"
+computed against the 32-bit floating-point model, and the mixed-precision
+rows additionally report the average precision.  This module centralizes
+that accounting so the CSQ trainer, the baselines and the benchmark
+harnesses all compute sizes identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping
+
+FP32_BITS = 32
+
+
+@dataclass
+class LayerQuantSpec:
+    """Quantization of a single layer: how many elements at how many bits."""
+
+    name: str
+    num_elements: int
+    bits: float
+
+    @property
+    def size_bits(self) -> float:
+        """Storage cost of the layer's weights in bits."""
+        return self.num_elements * self.bits
+
+    @property
+    def fp32_size_bits(self) -> int:
+        return self.num_elements * FP32_BITS
+
+
+@dataclass
+class QuantizationScheme:
+    """A full-model mixed-precision quantization scheme.
+
+    The scheme is a list of :class:`LayerQuantSpec`, one per quantized layer
+    (convolutions and linear layers; batch-norm parameters are excluded, as
+    in the paper's accounting).
+    """
+
+    layers: List[LayerQuantSpec] = field(default_factory=list)
+
+    def add_layer(self, name: str, num_elements: int, bits: float) -> None:
+        self.layers.append(LayerQuantSpec(name=name, num_elements=num_elements, bits=bits))
+
+    # ------------------------------------------------------------------
+    # Aggregates used by the tables
+    # ------------------------------------------------------------------
+    @property
+    def total_elements(self) -> int:
+        return sum(layer.num_elements for layer in self.layers)
+
+    @property
+    def total_size_bits(self) -> float:
+        return sum(layer.size_bits for layer in self.layers)
+
+    @property
+    def average_precision(self) -> float:
+        """Element-weighted average precision — the paper's "Avg. prec."."""
+        if not self.layers:
+            return 0.0
+        return self.total_size_bits / self.total_elements
+
+    @property
+    def compression_ratio(self) -> float:
+        """Compression relative to the FP32 model — the paper's "Comp(×)"."""
+        if self.total_size_bits == 0:
+            return float("inf")
+        return sum(layer.fp32_size_bits for layer in self.layers) / self.total_size_bits
+
+    def layer_bits(self) -> Dict[str, float]:
+        """Mapping ``layer name -> precision`` (the Figure 4 series)."""
+        return {layer.name: layer.bits for layer in self.layers}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(cls, layer_sizes: Mapping[str, int], bits: float) -> "QuantizationScheme":
+        """Uniform-precision scheme over ``{layer name: numel}``."""
+        scheme = cls()
+        for name, numel in layer_sizes.items():
+            scheme.add_layer(name, numel, bits)
+        return scheme
+
+    @classmethod
+    def from_layer_bits(
+        cls, layer_sizes: Mapping[str, int], layer_bits: Mapping[str, float]
+    ) -> "QuantizationScheme":
+        """Mixed-precision scheme from parallel ``{name: numel}`` / ``{name: bits}`` maps."""
+        missing = set(layer_sizes) - set(layer_bits)
+        if missing:
+            raise KeyError(f"layer_bits is missing entries for layers: {sorted(missing)}")
+        scheme = cls()
+        for name, numel in layer_sizes.items():
+            scheme.add_layer(name, numel, layer_bits[name])
+        return scheme
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary (used by examples and benches)."""
+        lines = [
+            f"{'layer':<28}{'elements':>12}{'bits':>8}",
+        ]
+        for layer in self.layers:
+            lines.append(f"{layer.name:<28}{layer.num_elements:>12}{layer.bits:>8.2f}")
+        lines.append(
+            f"{'TOTAL':<28}{self.total_elements:>12}{self.average_precision:>8.2f}"
+            f"   (compression {self.compression_ratio:.2f}x)"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Straight-through estimators (STE).
+
+The paper's baselines (and BSQ) rely on the straight-through estimator of
+Bengio et al. (2013): apply a non-differentiable discretization in the
+forward pass and pretend its Jacobian is the identity in the backward pass.
+CSQ's entire point is to *avoid* these approximations; they are implemented
+here so the comparison in Table IV can be reproduced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, ensure_tensor
+
+
+def ste_round(x: Tensor) -> Tensor:
+    """Round to the nearest integer; gradient passes through unchanged."""
+    x = ensure_tensor(x)
+    out = np.round(x.data)
+
+    def backward(grad: np.ndarray):
+        return (grad,)
+
+    return Tensor._from_op(out, (x,), backward, "ste_round")
+
+
+def ste_sign(x: Tensor) -> Tensor:
+    """Sign function (±1); gradient passes through unchanged inside [-1, 1]."""
+    x = ensure_tensor(x)
+    out = np.where(x.data >= 0.0, 1.0, -1.0).astype(x.data.dtype)
+
+    def backward(grad: np.ndarray):
+        mask = (np.abs(x.data) <= 1.0).astype(grad.dtype)
+        return (grad * mask,)
+
+    return Tensor._from_op(out, (x,), backward, "ste_sign")
+
+
+def ste_clamp(x: Tensor, low: float, high: float) -> Tensor:
+    """Clamp whose gradient is passed through even outside the range.
+
+    This is the "vanilla" STE variant used when the clamp is part of the
+    quantizer rather than of the loss; the hard-clip with zero outside
+    gradient lives in :func:`repro.autograd.ops.clip`.
+    """
+    x = ensure_tensor(x)
+    out = np.clip(x.data, low, high)
+
+    def backward(grad: np.ndarray):
+        return (grad,)
+
+    return Tensor._from_op(out, (x,), backward, "ste_clamp")
+
+
+def ste_binary(x: Tensor) -> Tensor:
+    """Binarize to {0, 1} with identity gradient (used by the BSQ baseline)."""
+    x = ensure_tensor(x)
+    out = (x.data >= 0.5).astype(x.data.dtype)
+
+    def backward(grad: np.ndarray):
+        return (grad,)
+
+    return Tensor._from_op(out, (x,), backward, "ste_binary")

@@ -1,0 +1,6 @@
+"""Generic training/evaluation loops and the experiment runner shared by benches."""
+
+from repro.training.loop import TrainingHistory, train_epoch, evaluate, fit
+from repro.training.experiment import ExperimentResult
+
+__all__ = ["TrainingHistory", "train_epoch", "evaluate", "fit", "ExperimentResult"]

@@ -1,0 +1,41 @@
+"""Experiment result container shared by the benchmark harnesses.
+
+Each table row / figure series produced by the benches is an
+:class:`ExperimentResult`; the reporting module renders collections of them
+into the same row layout as the paper's tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class ExperimentResult:
+    """One table row: method, precision configuration, and measured metrics."""
+
+    method: str
+    model: str
+    dataset: str
+    weight_bits: str
+    activation_bits: str
+    compression: float
+    accuracy: float
+    average_precision: Optional[float] = None
+    notes: str = ""
+    series: Dict[str, list] = field(default_factory=dict)
+
+    def as_row(self) -> Dict[str, str]:
+        """Render the result as a dict of formatted strings (table cells)."""
+        return {
+            "Method": self.method,
+            "Model": self.model,
+            "Dataset": self.dataset,
+            "W-Bits": self.weight_bits,
+            "A-Bits": self.activation_bits,
+            "Comp(x)": f"{self.compression:.2f}",
+            "Acc(%)": f"{100.0 * self.accuracy:.2f}",
+            "Avg.prec.": "" if self.average_precision is None else f"{self.average_precision:.2f}",
+            "Notes": self.notes,
+        }

@@ -1,0 +1,131 @@
+"""Generic train/eval loops used by the baselines and the CSQ trainer.
+
+These are deliberately minimal: one function that runs a single epoch of
+SGD over a loader, one that evaluates accuracy/loss, and a ``fit`` helper
+that strings them together with a learning-rate scheduler.  The CSQ trainer
+reuses ``evaluate`` and the history container but owns its epoch loop
+because of the extra regularization and temperature scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.data.dataloader import DataLoader
+from repro.nn import functional as F
+from repro.nn.module import Module
+from repro.optim.lr_scheduler import LRScheduler
+from repro.optim.optimizer import Optimizer
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch metric series accumulated during training."""
+
+    train_loss: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+    test_loss: List[float] = field(default_factory=list)
+    test_accuracy: List[float] = field(default_factory=list)
+    extra: Dict[str, List[float]] = field(default_factory=dict)
+
+    def record_extra(self, key: str, value: float) -> None:
+        self.extra.setdefault(key, []).append(float(value))
+
+    @property
+    def best_test_accuracy(self) -> float:
+        return max(self.test_accuracy) if self.test_accuracy else float("nan")
+
+    @property
+    def final_test_accuracy(self) -> float:
+        return self.test_accuracy[-1] if self.test_accuracy else float("nan")
+
+
+def train_epoch(
+    model: Module,
+    loader: DataLoader,
+    optimizer: Optimizer,
+    loss_fn: Optional[Callable[[Tensor, np.ndarray], Tensor]] = None,
+    extra_loss: Optional[Callable[[], Tensor]] = None,
+) -> Dict[str, float]:
+    """Run one epoch of SGD; returns mean loss and accuracy over the epoch.
+
+    ``extra_loss`` is an optional zero-argument callable returning an extra
+    scalar term added to the loss of every batch (used for the budget-aware
+    regularizer and the BSQ bit-sparsity penalty).
+    """
+    if loss_fn is None:
+        loss_fn = F.cross_entropy
+    model.train()
+    losses: List[float] = []
+    accuracies: List[float] = []
+    for images, labels in loader:
+        logits = model(Tensor(images))
+        loss = loss_fn(logits, labels)
+        if extra_loss is not None:
+            loss = loss + extra_loss().sum()
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        losses.append(float(loss.data))
+        accuracies.append(F.accuracy(logits, labels))
+    return {"loss": float(np.mean(losses)), "accuracy": float(np.mean(accuracies))}
+
+
+def evaluate(
+    model: Module,
+    loader: DataLoader,
+    loss_fn: Optional[Callable[[Tensor, np.ndarray], Tensor]] = None,
+) -> Dict[str, float]:
+    """Evaluate mean loss and accuracy over a loader (no gradients)."""
+    if loss_fn is None:
+        loss_fn = F.cross_entropy
+    model.eval()
+    losses: List[float] = []
+    correct = 0
+    total = 0
+    with no_grad():
+        for images, labels in loader:
+            logits = model(Tensor(images))
+            loss = loss_fn(logits, labels)
+            losses.append(float(loss.data))
+            prediction = logits.data.argmax(axis=-1)
+            correct += int((prediction == labels).sum())
+            total += len(labels)
+    return {
+        "loss": float(np.mean(losses)) if losses else float("nan"),
+        "accuracy": correct / total if total else float("nan"),
+    }
+
+
+def fit(
+    model: Module,
+    train_loader: DataLoader,
+    test_loader: DataLoader,
+    optimizer: Optimizer,
+    epochs: int,
+    scheduler: Optional[LRScheduler] = None,
+    extra_loss: Optional[Callable[[], Tensor]] = None,
+    on_epoch_end: Optional[Callable[[int, TrainingHistory], None]] = None,
+) -> TrainingHistory:
+    """Standard training loop: ``epochs`` epochs of SGD with optional scheduler.
+
+    ``on_epoch_end(epoch, history)`` is called after each epoch — the BSQ
+    baseline uses it for its periodic precision adjustment.
+    """
+    history = TrainingHistory()
+    for epoch in range(epochs):
+        train_metrics = train_epoch(model, train_loader, optimizer, extra_loss=extra_loss)
+        test_metrics = evaluate(model, test_loader)
+        history.train_loss.append(train_metrics["loss"])
+        history.train_accuracy.append(train_metrics["accuracy"])
+        history.test_loss.append(test_metrics["loss"])
+        history.test_accuracy.append(test_metrics["accuracy"])
+        if scheduler is not None:
+            scheduler.step()
+        if on_epoch_end is not None:
+            on_epoch_end(epoch, history)
+    return history

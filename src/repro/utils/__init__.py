@@ -1,0 +1,7 @@
+"""Shared utilities: seeding, lightweight logging, numeric helpers."""
+
+from repro.utils.seed import seed_everything
+from repro.utils.logging import get_logger
+from repro.utils.numeric import moving_average, topk_indices
+
+__all__ = ["seed_everything", "get_logger", "moving_average", "topk_indices"]

@@ -1,0 +1,17 @@
+"""Lightweight logging configuration."""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+
+def get_logger(name: str = "repro", level: int = logging.INFO) -> logging.Logger:
+    """Return a logger with a single stderr handler (idempotent)."""
+    logger = logging.getLogger(name)
+    if not logger.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter("[%(asctime)s] %(name)s %(levelname)s: %(message)s"))
+        logger.addHandler(handler)
+    logger.setLevel(level)
+    return logger

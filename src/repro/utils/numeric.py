@@ -1,0 +1,29 @@
+"""Small numeric helpers shared across modules."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def moving_average(values: Sequence[float], window: int) -> np.ndarray:
+    """Simple trailing moving average; shorter-than-window prefixes use what exists."""
+    values = np.asarray(values, dtype=np.float64)
+    if window <= 1 or values.size == 0:
+        return values
+    out = np.empty_like(values)
+    cumulative = np.cumsum(values)
+    for i in range(values.size):
+        start = max(0, i - window + 1)
+        total = cumulative[i] - (cumulative[start - 1] if start > 0 else 0.0)
+        out[i] = total / (i - start + 1)
+    return out
+
+
+def topk_indices(values: Sequence[float], k: int) -> np.ndarray:
+    """Indices of the ``k`` largest values, in descending order of value."""
+    values = np.asarray(values)
+    k = min(k, values.size)
+    idx = np.argpartition(-values, k - 1)[:k]
+    return idx[np.argsort(-values[idx])]

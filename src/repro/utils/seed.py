@@ -1,0 +1,21 @@
+"""Deterministic seeding for reproducible experiments."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.nn import init as nn_init
+
+
+def seed_everything(seed: int = 0) -> np.random.Generator:
+    """Seed Python's ``random``, NumPy's legacy RNG, and the layer initializers.
+
+    Returns a fresh ``numpy.random.Generator`` seeded with ``seed`` for callers
+    that want their own stream (data generation, dropout masks).
+    """
+    random.seed(seed)
+    np.random.seed(seed % (2 ** 32))
+    nn_init.set_init_rng(seed)
+    return np.random.default_rng(seed)

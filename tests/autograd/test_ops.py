@@ -1,0 +1,239 @@
+"""Gradient checks and semantics tests for every primitive op."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+from repro.autograd import ops
+
+
+def t(array, requires_grad=True):
+    return Tensor(np.asarray(array, dtype=np.float64), requires_grad=requires_grad)
+
+
+def randn(*shape, seed=0):
+    return np.random.default_rng(seed).standard_normal(shape)
+
+
+class TestElementwiseGradients:
+    def test_add_broadcast(self):
+        gradcheck(ops.add, [t(randn(3, 4)), t(randn(4))])
+
+    def test_sub_broadcast(self):
+        gradcheck(ops.sub, [t(randn(2, 3, 4)), t(randn(1, 4))])
+
+    def test_mul_broadcast(self):
+        gradcheck(ops.mul, [t(randn(3, 4)), t(randn(3, 1))])
+
+    def test_div(self):
+        gradcheck(ops.div, [t(randn(3, 4)), t(np.abs(randn(3, 4, seed=1)) + 1.0)])
+
+    def test_neg(self):
+        gradcheck(ops.neg, [t(randn(5))])
+
+    def test_pow(self):
+        gradcheck(lambda x: ops.pow(x, 3.0), [t(np.abs(randn(4)) + 0.5)])
+
+    def test_abs(self):
+        gradcheck(ops.abs, [t(randn(4, 4) + 0.1)])
+
+    def test_exp(self):
+        gradcheck(ops.exp, [t(randn(3, 3))])
+
+    def test_log(self):
+        gradcheck(ops.log, [t(np.abs(randn(3, 3)) + 0.5)])
+
+    def test_sqrt(self):
+        gradcheck(ops.sqrt, [t(np.abs(randn(3, 3)) + 0.5)])
+
+    def test_maximum(self):
+        gradcheck(ops.maximum, [t(randn(4, 4)), t(randn(4, 4, seed=1))])
+
+    def test_minimum(self):
+        gradcheck(ops.minimum, [t(randn(4, 4)), t(randn(4, 4, seed=1))])
+
+    def test_clip_gradient_zero_outside(self):
+        x = t(np.array([-2.0, 0.0, 2.0]))
+        y = ops.clip(x, -1.0, 1.0)
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_where(self):
+        cond = Tensor(np.array([True, False, True]))
+        a, b = t(randn(3)), t(randn(3, seed=1))
+        gradcheck(lambda a_, b_: ops.where(cond, a_, b_), [a, b])
+
+
+class TestActivationGradients:
+    def test_relu(self):
+        gradcheck(ops.relu, [t(randn(4, 4) + 0.05)])
+
+    def test_leaky_relu(self):
+        gradcheck(lambda x: ops.leaky_relu(x, 0.1), [t(randn(4, 4) + 0.05)])
+
+    def test_sigmoid(self):
+        gradcheck(ops.sigmoid, [t(randn(4, 4))])
+
+    def test_sigmoid_extreme_values_are_stable(self):
+        x = Tensor(np.array([-1000.0, 1000.0], dtype=np.float32))
+        y = ops.sigmoid(x)
+        np.testing.assert_allclose(y.data, [0.0, 1.0], atol=1e-6)
+        assert np.all(np.isfinite(y.data))
+
+    def test_tanh(self):
+        gradcheck(ops.tanh, [t(randn(4, 4))])
+
+    def test_softplus(self):
+        gradcheck(lambda x: ops.softplus(x, beta=2.0), [t(randn(4, 4))])
+
+    def test_softmax_rows_sum_to_one(self):
+        y = ops.softmax(t(randn(5, 7)), axis=-1)
+        np.testing.assert_allclose(y.data.sum(axis=-1), 1.0, atol=1e-6)
+
+    def test_softmax_gradient(self):
+        gradcheck(lambda x: ops.softmax(x, axis=-1), [t(randn(3, 5))])
+
+    def test_log_softmax_gradient(self):
+        gradcheck(lambda x: ops.log_softmax(x, axis=-1), [t(randn(3, 5))])
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = t(randn(4, 6))
+        np.testing.assert_allclose(
+            ops.log_softmax(x).data, np.log(ops.softmax(x).data), atol=1e-6
+        )
+
+
+class TestReductionGradients:
+    def test_sum_all(self):
+        gradcheck(lambda x: ops.sum(x), [t(randn(3, 4))])
+
+    def test_sum_axis(self):
+        gradcheck(lambda x: ops.sum(x, axis=1), [t(randn(3, 4))])
+
+    def test_sum_axis_keepdims(self):
+        gradcheck(lambda x: ops.sum(x, axis=(0, 2), keepdims=True), [t(randn(2, 3, 4))])
+
+    def test_mean_all(self):
+        gradcheck(lambda x: ops.mean(x), [t(randn(3, 4))])
+
+    def test_mean_axis(self):
+        gradcheck(lambda x: ops.mean(x, axis=0), [t(randn(3, 4))])
+
+    def test_max_gradient_goes_to_argmax(self):
+        x = t(np.array([[1.0, 5.0, 2.0]]))
+        ops.max(x).backward()
+        np.testing.assert_allclose(x.grad, [[0.0, 1.0, 0.0]])
+
+    def test_max_axis(self):
+        gradcheck(lambda x: ops.max(x, axis=1), [t(randn(3, 4))])
+
+    def test_min_axis(self):
+        gradcheck(lambda x: ops.min(x, axis=0), [t(randn(3, 4))])
+
+    def test_max_ties_split_gradient(self):
+        x = t(np.array([2.0, 2.0]))
+        ops.max(x).backward()
+        np.testing.assert_allclose(x.grad, [0.5, 0.5])
+
+
+class TestShapeGradients:
+    def test_reshape(self):
+        gradcheck(lambda x: ops.reshape(x, (6, 2)), [t(randn(3, 4))])
+
+    def test_transpose_default(self):
+        gradcheck(lambda x: ops.transpose(x), [t(randn(3, 4))])
+
+    def test_transpose_axes(self):
+        gradcheck(lambda x: ops.transpose(x, (2, 0, 1)), [t(randn(2, 3, 4))])
+
+    def test_getitem_slice(self):
+        gradcheck(lambda x: ops.getitem(x, (slice(None), 1)), [t(randn(3, 4))])
+
+    def test_concatenate(self):
+        gradcheck(lambda a, b: ops.concatenate([a, b], axis=1), [t(randn(2, 3)), t(randn(2, 2))])
+
+    def test_stack(self):
+        gradcheck(lambda a, b: ops.stack([a, b], axis=0), [t(randn(2, 3)), t(randn(2, 3, seed=1))])
+
+    def test_pad2d(self):
+        gradcheck(lambda x: ops.pad2d(x, 2), [t(randn(1, 2, 3, 3))])
+
+    def test_pad2d_zero_padding_is_identity(self):
+        x = t(randn(1, 2, 3, 3))
+        np.testing.assert_allclose(ops.pad2d(x, 0).data, x.data)
+
+
+class TestMatmul:
+    def test_matmul_2d(self):
+        gradcheck(ops.matmul, [t(randn(3, 4)), t(randn(4, 5))])
+
+    def test_matmul_value(self):
+        a, b = randn(3, 4), randn(4, 5, seed=1)
+        np.testing.assert_allclose(ops.matmul(t(a), t(b)).data, a @ b, atol=1e-6)
+
+    def test_matmul_batched(self):
+        gradcheck(ops.matmul, [t(randn(2, 3, 4)), t(randn(2, 4, 5))])
+
+    def test_matmul_broadcast_batch(self):
+        gradcheck(ops.matmul, [t(randn(2, 3, 4)), t(randn(4, 5))])
+
+
+class TestConvolutionAndPooling:
+    def test_conv2d_matches_reference(self):
+        x = randn(1, 1, 4, 4)
+        w = randn(1, 1, 3, 3, seed=1)
+        out = ops.conv2d(t(x), t(w), stride=1, padding=0)
+        expected = np.zeros((1, 1, 2, 2))
+        for i in range(2):
+            for j in range(2):
+                expected[0, 0, i, j] = np.sum(x[0, 0, i:i + 3, j:j + 3] * w[0, 0])
+        np.testing.assert_allclose(out.data, expected, atol=1e-6)
+
+    def test_conv2d_gradients(self):
+        gradcheck(
+            lambda x, w, b: ops.conv2d(x, w, b, stride=1, padding=1),
+            [t(randn(2, 3, 5, 5)), t(randn(4, 3, 3, 3, seed=1)), t(randn(4, seed=2))],
+        )
+
+    def test_conv2d_stride2_gradients(self):
+        gradcheck(
+            lambda x, w: ops.conv2d(x, w, stride=2, padding=1),
+            [t(randn(1, 2, 6, 6)), t(randn(3, 2, 3, 3, seed=1))],
+        )
+
+    def test_conv2d_channel_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ops.conv2d(t(randn(1, 3, 4, 4)), t(randn(2, 4, 3, 3)))
+
+    def test_conv2d_output_shape(self):
+        out = ops.conv2d(t(randn(2, 3, 8, 8)), t(randn(5, 3, 3, 3)), stride=2, padding=1)
+        assert out.shape == (2, 5, 4, 4)
+
+    def test_max_pool2d_values(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = ops.max_pool2d(t(x), 2)
+        np.testing.assert_allclose(out.data, [[[[5, 7], [13, 15]]]])
+
+    def test_max_pool2d_gradients(self):
+        gradcheck(lambda x: ops.max_pool2d(x, 2), [t(randn(2, 3, 6, 6))])
+
+    def test_avg_pool2d_values(self):
+        x = np.ones((1, 1, 4, 4))
+        out = ops.avg_pool2d(t(x), 2)
+        np.testing.assert_allclose(out.data, 1.0)
+
+    def test_avg_pool2d_gradients(self):
+        gradcheck(lambda x: ops.avg_pool2d(x, 2), [t(randn(2, 3, 6, 6))])
+
+    def test_adaptive_avg_pool2d(self):
+        gradcheck(lambda x: ops.adaptive_avg_pool2d(x), [t(randn(2, 3, 5, 5))])
+
+    def test_adaptive_avg_pool2d_rejects_other_sizes(self):
+        with pytest.raises(NotImplementedError):
+            ops.adaptive_avg_pool2d(t(randn(1, 1, 4, 4)), output_size=2)
+
+    def test_im2col_col2im_roundtrip_shape(self):
+        x = randn(2, 3, 6, 6)
+        cols = ops.im2col(x, 3, 3, 1, 1)
+        back = ops.col2im(cols, x.shape, 3, 3, 1, 1)
+        assert back.shape == x.shape

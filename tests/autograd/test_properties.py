@@ -1,0 +1,116 @@
+"""Property-based tests (hypothesis) for the autograd core."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.autograd import Tensor
+from repro.autograd import ops
+from repro.autograd.tensor import unbroadcast
+
+small_floats = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+
+
+def arrays(max_dims=3, max_side=4):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=hnp.array_shapes(min_dims=1, max_dims=max_dims, min_side=1, max_side=max_side),
+        elements=small_floats,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays())
+def test_add_zero_is_identity(a):
+    x = Tensor(a)
+    np.testing.assert_allclose(ops.add(x, 0.0).data, a, atol=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays())
+def test_mul_one_is_identity(a):
+    x = Tensor(a)
+    np.testing.assert_allclose(ops.mul(x, 1.0).data, a, atol=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(), arrays())
+def test_add_commutative_when_broadcastable(a, b):
+    try:
+        np.broadcast_shapes(a.shape, b.shape)
+    except ValueError:
+        return
+    left = ops.add(Tensor(a), Tensor(b)).data
+    right = ops.add(Tensor(b), Tensor(a)).data
+    np.testing.assert_allclose(left, right, atol=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays())
+def test_sigmoid_output_in_unit_interval(a):
+    y = ops.sigmoid(Tensor(a)).data
+    assert np.all(y >= 0.0) and np.all(y <= 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays())
+def test_relu_is_nonnegative_and_idempotent(a):
+    y = ops.relu(Tensor(a))
+    assert np.all(y.data >= 0.0)
+    np.testing.assert_allclose(ops.relu(y).data, y.data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays())
+def test_sum_gradient_is_all_ones(a):
+    x = Tensor(a, requires_grad=True)
+    ops.sum(x).backward()
+    np.testing.assert_allclose(x.grad, np.ones_like(a))
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(), small_floats)
+def test_backward_is_linear_in_upstream_gradient(a, scale):
+    # d(scale * f)/dx == scale * df/dx for f = sum(x * x)
+    x1 = Tensor(a, requires_grad=True)
+    (ops.sum(ops.mul(x1, x1)) * float(scale)).backward()
+    x2 = Tensor(a, requires_grad=True)
+    ops.sum(ops.mul(x2, x2)).backward()
+    np.testing.assert_allclose(x1.grad, float(scale) * x2.grad, atol=1e-4, rtol=1e-4)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays())
+def test_softmax_is_shift_invariant(a):
+    if a.ndim < 1:
+        return
+    x = Tensor(a)
+    shifted = Tensor(a + 100.0)
+    np.testing.assert_allclose(
+        ops.softmax(x, axis=-1).data, ops.softmax(shifted, axis=-1).data, atol=1e-5
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=hnp.array_shapes(min_dims=1, max_dims=4, min_side=1, max_side=4),
+        elements=small_floats,
+    ),
+    hnp.array_shapes(min_dims=1, max_dims=4, min_side=1, max_side=4),
+)
+def test_unbroadcast_inverts_broadcast(base, target_shape):
+    try:
+        broadcast_shape = np.broadcast_shapes(target_shape, base.shape)
+    except ValueError:
+        return
+    if broadcast_shape != base.shape:
+        return
+    # Sum-reducing a broadcast of ones must give the number of repetitions.
+    ones = np.ones(target_shape)
+    grad = np.broadcast_to(ones, base.shape).copy()
+    reduced = unbroadcast(grad, tuple(target_shape))
+    assert reduced.shape == tuple(target_shape)
+    repetitions = int(np.prod(base.shape) / np.prod(target_shape))
+    np.testing.assert_allclose(reduced, repetitions)

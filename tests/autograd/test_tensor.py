@@ -1,0 +1,180 @@
+"""Tests for the Tensor type: construction, graph bookkeeping, backward."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad, is_grad_enabled
+from repro.autograd import ops
+
+
+class TestConstruction:
+    def test_python_scalars_become_float32(self):
+        t = Tensor(3.0)
+        assert t.dtype == np.float32
+
+    def test_lists_become_float32(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.dtype == np.float32
+        assert t.shape == (2, 2)
+
+    def test_float64_arrays_are_preserved(self):
+        t = Tensor(np.zeros(3, dtype=np.float64))
+        assert t.dtype == np.float64
+
+    def test_int_array_cannot_require_grad(self):
+        with pytest.raises(TypeError):
+            Tensor(np.arange(3), requires_grad=True)
+
+    def test_shape_ndim_size(self):
+        t = Tensor(np.zeros((2, 3, 4), dtype=np.float32))
+        assert t.shape == (2, 3, 4)
+        assert t.ndim == 3
+        assert t.size == 24
+
+    def test_repr_mentions_requires_grad(self):
+        t = Tensor(1.0, requires_grad=True)
+        assert "requires_grad=True" in repr(t)
+
+    def test_item_on_scalar(self):
+        assert Tensor(2.5).item() == pytest.approx(2.5)
+
+
+class TestBackwardBasics:
+    def test_scalar_backward_populates_grad(self):
+        x = Tensor(3.0, requires_grad=True)
+        y = x * x
+        y.backward()
+        assert x.grad == pytest.approx(6.0)
+
+    def test_backward_requires_scalar_or_explicit_grad(self):
+        x = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        y = x * 2.0
+        with pytest.raises(RuntimeError):
+            y.backward()
+
+    def test_backward_with_explicit_grad(self):
+        x = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        y = x * 2.0
+        y.backward(np.array([1.0, 2.0, 3.0], dtype=np.float32))
+        np.testing.assert_allclose(x.grad, [2.0, 4.0, 6.0])
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        x = Tensor(1.0)
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_grad_accumulates_across_backward_calls(self):
+        x = Tensor(2.0, requires_grad=True)
+        (x * 3.0).backward()
+        (x * 3.0).backward()
+        assert x.grad == pytest.approx(6.0)
+
+    def test_zero_grad_resets(self):
+        x = Tensor(2.0, requires_grad=True)
+        (x * 3.0).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_shared_subexpression_gradient_sums(self):
+        # y = x*x + x*x should give dy/dx = 4x
+        x = Tensor(3.0, requires_grad=True)
+        y = x * x + x * x
+        y.backward()
+        assert x.grad == pytest.approx(12.0)
+
+    def test_diamond_graph(self):
+        # z = (x + x) * (x + 1) -> dz/dx = 2*(x+1) + (2x) = 4x + 2
+        x = Tensor(5.0, requires_grad=True)
+        z = (x + x) * (x + 1.0)
+        z.backward()
+        assert x.grad == pytest.approx(4 * 5.0 + 2.0)
+
+    def test_detach_breaks_graph(self):
+        x = Tensor(2.0, requires_grad=True)
+        y = (x * 3.0).detach()
+        assert not y.requires_grad
+
+    def test_clone_keeps_graph(self):
+        x = Tensor(2.0, requires_grad=True)
+        y = x.clone() * 2.0
+        y.backward()
+        assert x.grad == pytest.approx(2.0)
+
+
+class TestNoGrad:
+    def test_no_grad_disables_graph(self):
+        x = Tensor(2.0, requires_grad=True)
+        with no_grad():
+            y = x * 3.0
+        assert not y.requires_grad
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_state_on_exception(self):
+        try:
+            with no_grad():
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert is_grad_enabled()
+
+    def test_tensor_created_inside_no_grad_has_no_grad(self):
+        with no_grad():
+            t = Tensor(1.0, requires_grad=True)
+        assert not t.requires_grad
+
+
+class TestOperatorOverloads:
+    def test_add_sub_mul_div_scalars(self):
+        x = Tensor(np.array([2.0, 4.0], dtype=np.float32), requires_grad=True)
+        y = ((x + 1.0) - 2.0) * 3.0 / 6.0
+        np.testing.assert_allclose(y.data, [0.5, 1.5])
+
+    def test_radd_rsub_rmul_rdiv(self):
+        x = Tensor(np.array([2.0], dtype=np.float32))
+        assert (1.0 + x).data[0] == pytest.approx(3.0)
+        assert (1.0 - x).data[0] == pytest.approx(-1.0)
+        assert (2.0 * x).data[0] == pytest.approx(4.0)
+        assert (4.0 / x).data[0] == pytest.approx(2.0)
+
+    def test_neg_and_pow(self):
+        x = Tensor(np.array([2.0], dtype=np.float32), requires_grad=True)
+        y = (-x) ** 2
+        y.backward(np.array([1.0], dtype=np.float32))
+        assert y.data[0] == pytest.approx(4.0)
+        assert x.grad[0] == pytest.approx(4.0)
+
+    def test_matmul_operator(self):
+        a = Tensor(np.eye(2, dtype=np.float32))
+        b = Tensor(np.array([[1.0, 2.0], [3.0, 4.0]], dtype=np.float32))
+        np.testing.assert_allclose((a @ b).data, b.data)
+
+    def test_comparisons_return_bool_tensors(self):
+        x = Tensor(np.array([1.0, 2.0, 3.0], dtype=np.float32))
+        assert (x > 1.5).data.tolist() == [False, True, True]
+        assert (x <= 2.0).data.tolist() == [True, True, False]
+
+    def test_getitem(self):
+        x = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3), requires_grad=True)
+        y = x[0]
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [[1, 1, 1], [0, 0, 0]])
+
+    def test_reshape_and_flatten(self):
+        x = Tensor(np.arange(12, dtype=np.float32).reshape(3, 4))
+        assert x.reshape(4, 3).shape == (4, 3)
+        assert x.flatten(1).shape == (3, 4)
+        assert x.reshape((2, 6)).shape == (2, 6)
+
+    def test_transpose_property(self):
+        x = Tensor(np.zeros((2, 5), dtype=np.float32))
+        assert x.T.shape == (5, 2)
+
+    def test_copy_underscore_overwrites_data(self):
+        x = Tensor(np.zeros(3, dtype=np.float32))
+        x.copy_(np.ones(3))
+        np.testing.assert_allclose(x.data, 1.0)

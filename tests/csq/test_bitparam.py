@@ -1,0 +1,180 @@
+"""Tests for the bit-level parameterization (Eq. 3–5) and freezing semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.csq.bitparam import BitParameterization
+from repro.csq.gates import GateState
+from repro.quant.functional import quantize_dequantize
+
+
+def randn(*shape, seed=0):
+    return np.random.default_rng(seed).standard_normal(shape).astype(np.float32)
+
+
+class TestInitialization:
+    def test_parameter_shapes(self):
+        weight = randn(4, 3, 3, 3)
+        bp = BitParameterization(weight, num_bits=8)
+        assert bp.m_p.shape == (8, 4, 3, 3, 3)
+        assert bp.m_n.shape == (8, 4, 3, 3, 3)
+        assert bp.m_b.shape == (8,)
+        assert bp.scale.shape == (1,)
+
+    def test_initial_precision_is_full(self):
+        bp = BitParameterization(randn(10), num_bits=8, mask_init=0.1)
+        assert bp.precision() == 8
+
+    def test_parameter_groups(self):
+        bp = BitParameterization(randn(5), num_bits=4)
+        assert len(bp.representation_parameters()) == 3
+        assert len(bp.mask_parameters()) == 1
+        assert len(bp.all_parameters()) == 4
+
+    def test_uniform_mode_has_no_mask_parameters(self):
+        bp = BitParameterization(randn(5), num_bits=4, trainable_mask=False)
+        assert bp.mask_parameters() == []
+        assert bp.precision() == 4
+
+    def test_invalid_num_bits(self):
+        with pytest.raises(ValueError):
+            BitParameterization(randn(5), num_bits=0)
+
+    def test_num_elements(self):
+        assert BitParameterization(randn(3, 4), num_bits=4).num_elements() == 12
+
+
+class TestFrozenWeight:
+    def test_frozen_weight_matches_8bit_quantization_at_init(self):
+        weight = randn(64)
+        bp = BitParameterization(weight, num_bits=8)
+        np.testing.assert_allclose(
+            bp.frozen_weight(), quantize_dequantize(weight, 8), atol=1e-4
+        )
+
+    def test_relaxed_with_hard_state_equals_frozen(self):
+        weight = randn(6, 5)
+        bp = BitParameterization(weight, num_bits=6)
+        state = GateState()
+        state.freeze_all()
+        np.testing.assert_allclose(bp.relaxed_weight(state).data, bp.frozen_weight(), atol=1e-5)
+
+    def test_relaxed_converges_to_frozen_as_beta_grows(self):
+        weight = randn(32)
+        bp = BitParameterization(weight, num_bits=4)
+        state = GateState()
+        errors = []
+        for beta in (1.0, 10.0, 100.0, 1000.0):
+            state.set_temperature(beta)
+            relaxed = bp.relaxed_weight(state).data
+            errors.append(float(np.abs(relaxed - bp.frozen_weight()).max()))
+        assert errors == sorted(errors, reverse=True)
+        assert errors[-1] < 1e-3
+
+    def test_frozen_int_weight_consistency(self):
+        weight = randn(20)
+        bp = BitParameterization(weight, num_bits=8)
+        q, scale = bp.frozen_int_weight()
+        reconstructed = q.astype(np.float32) * scale / (2 ** 8 - 1)
+        np.testing.assert_allclose(reconstructed, bp.frozen_weight(), atol=1e-5)
+
+    def test_frozen_int_weight_within_levels(self):
+        bp = BitParameterization(randn(100) * 3, num_bits=5)
+        q, _ = bp.frozen_int_weight()
+        assert np.abs(q).max() <= 2 ** 5 - 1
+
+    def test_pruned_mask_zeroes_bit_contribution(self):
+        weight = randn(16)
+        bp = BitParameterization(weight, num_bits=8)
+        bp.m_b.data[:] = -1.0  # prune every bit
+        np.testing.assert_allclose(bp.frozen_weight(), 0.0)
+        assert bp.precision() == 0
+
+
+class TestRelaxedWeightGradients:
+    def test_gradients_reach_all_parameters(self):
+        bp = BitParameterization(randn(3, 3), num_bits=4)
+        state = GateState(beta=2.0, beta_mask=2.0)
+        out = bp.relaxed_weight(state)
+        out.sum().backward()
+        assert bp.scale.grad is not None
+        assert bp.m_p.grad is not None
+        assert bp.m_n.grad is not None
+        assert bp.m_b.grad is not None
+
+    def test_no_mask_gradient_when_mask_hard(self):
+        bp = BitParameterization(randn(3, 3), num_bits=4)
+        state = GateState()
+        state.freeze_mask_only()
+        bp.relaxed_weight(state).sum().backward()
+        assert bp.m_b.grad is None
+
+    def test_scale_gradient_still_flows_when_fully_hard(self):
+        bp = BitParameterization(randn(3, 3), num_bits=4)
+        state = GateState()
+        state.freeze_all()
+        bp.relaxed_weight(state).sum().backward()
+        assert bp.scale.grad is not None
+
+    def test_uniform_mode_has_no_mask_dependency(self):
+        bp = BitParameterization(randn(3, 3), num_bits=4, trainable_mask=False)
+        state = GateState(beta=3.0)
+        bp.relaxed_weight(state).sum().backward()
+        assert bp.m_b.grad is None
+
+
+class TestPrecisionAndRegularization:
+    def test_precision_counts_nonnegative_mask_entries(self):
+        bp = BitParameterization(randn(8), num_bits=8)
+        bp.m_b.data = np.array([1, 1, -1, 0, -2, 3, -0.5, 0.2], dtype=np.float32)
+        assert bp.precision() == 5
+        np.testing.assert_array_equal(bp.selected_bits(), [1, 1, 0, 1, 0, 1, 0, 1])
+
+    def test_regularization_value_is_relaxed_precision(self):
+        bp = BitParameterization(randn(8), num_bits=6, mask_init=0.0)
+        state = GateState(beta_mask=1.0)
+        reg = bp.mask_regularization(state)
+        # sigmoid(0) = 0.5 for each of the 6 bits.
+        assert float(reg.data) == pytest.approx(3.0, abs=1e-5)
+
+    def test_regularization_approaches_hard_precision_at_high_beta(self):
+        bp = BitParameterization(randn(8), num_bits=8)
+        bp.m_b.data = np.array([1, 1, 1, -1, -1, -1, -1, -1], dtype=np.float32)
+        state = GateState()
+        state.set_temperature(500.0)
+        assert float(bp.mask_regularization(state).data) == pytest.approx(3.0, abs=1e-3)
+
+    def test_regularization_gradient_flows_to_mask(self):
+        bp = BitParameterization(randn(8), num_bits=4)
+        state = GateState(beta_mask=2.0)
+        bp.mask_regularization(state).backward()
+        assert bp.m_b.grad is not None
+        assert np.all(bp.m_b.grad > 0)
+
+    def test_uniform_mode_regularization_is_zero(self):
+        bp = BitParameterization(randn(8), num_bits=4, trainable_mask=False)
+        assert float(bp.mask_regularization(GateState()).data.sum()) == 0.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    hnp.arrays(
+        dtype=np.float32,
+        shape=st.integers(min_value=1, max_value=32),
+        elements=st.floats(min_value=-3.0, max_value=3.0, allow_nan=False, width=32),
+    ),
+    st.integers(min_value=1, max_value=8),
+)
+def test_property_frozen_weight_at_init_equals_uniform_quantization(weight, bits):
+    bp = BitParameterization(weight, num_bits=bits)
+    np.testing.assert_allclose(bp.frozen_weight(), quantize_dequantize(weight, bits), atol=1e-3)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=8))
+def test_property_precision_never_exceeds_num_bits(bits):
+    bp = BitParameterization(randn(16), num_bits=bits)
+    bp.m_b.data = np.random.default_rng(0).standard_normal(bits).astype(np.float32)
+    assert 0 <= bp.precision() <= bits

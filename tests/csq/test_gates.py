@@ -1,0 +1,127 @@
+"""Tests for the temperature sigmoid gates and temperature schedule (Figure 1a)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd import Tensor
+from repro.csq.gates import GateState, hard_gate, hard_gate_tensor, temperature_sigmoid
+from repro.csq.temperature import ExponentialTemperatureSchedule
+
+
+class TestTemperatureSigmoid:
+    def test_matches_sigmoid_at_beta_one(self):
+        m = Tensor(np.array([-1.0, 0.0, 1.0], dtype=np.float32))
+        out = temperature_sigmoid(m, 1.0)
+        np.testing.assert_allclose(out.data, 1.0 / (1.0 + np.exp(-m.data)), atol=1e-6)
+
+    def test_zero_input_gives_half_for_any_beta(self):
+        m = Tensor(np.zeros(3, dtype=np.float32))
+        for beta in (1.0, 10.0, 200.0):
+            np.testing.assert_allclose(temperature_sigmoid(m, beta).data, 0.5)
+
+    def test_large_beta_approaches_step(self):
+        m = Tensor(np.array([-0.1, 0.1], dtype=np.float32))
+        out = temperature_sigmoid(m, 200.0)
+        np.testing.assert_allclose(out.data, [0.0, 1.0], atol=1e-6)
+
+    def test_sharpening_is_monotone_in_beta(self):
+        # For a positive input, the gate value increases with beta (Figure 1a).
+        m = Tensor(np.array([0.5], dtype=np.float32))
+        values = [float(temperature_sigmoid(m, beta).data[0]) for beta in (1, 5, 50, 200)]
+        assert values == sorted(values)
+
+    def test_gradient_flows(self):
+        m = Tensor(np.array([0.3], dtype=np.float32), requires_grad=True)
+        temperature_sigmoid(m, 5.0).sum().backward()
+        assert m.grad is not None and m.grad[0] > 0
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            temperature_sigmoid(Tensor(np.zeros(1, dtype=np.float32)), 0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=-5, max_value=5, allow_nan=False))
+    def test_property_gate_in_unit_interval(self, value):
+        out = temperature_sigmoid(Tensor(np.array([value], dtype=np.float32)), 37.0)
+        assert 0.0 <= float(out.data[0]) <= 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=-5, max_value=5, allow_nan=False))
+    def test_property_high_beta_limit_equals_hard_gate(self, value):
+        if abs(value) < 1e-2:
+            return
+        soft = temperature_sigmoid(Tensor(np.array([value], dtype=np.float32)), 5000.0)
+        hard = hard_gate(np.array([value]))
+        np.testing.assert_allclose(soft.data, hard, atol=1e-5)
+
+
+class TestHardGate:
+    def test_threshold_at_zero(self):
+        np.testing.assert_allclose(hard_gate(np.array([-0.01, 0.0, 0.01])), [0.0, 1.0, 1.0])
+
+    def test_tensor_variant_is_not_differentiable(self):
+        m = Tensor(np.array([0.5], dtype=np.float32), requires_grad=True)
+        out = hard_gate_tensor(m)
+        assert not out.requires_grad
+
+
+class TestGateState:
+    def test_set_temperature_updates_both(self):
+        state = GateState()
+        state.set_temperature(42.0)
+        assert state.beta == 42.0 and state.beta_mask == 42.0
+
+    def test_freeze_all(self):
+        state = GateState()
+        state.freeze_all()
+        assert state.hard_values and state.hard_mask
+
+    def test_freeze_mask_only(self):
+        state = GateState()
+        state.freeze_mask_only()
+        assert state.hard_mask and not state.hard_values
+
+    def test_thaw(self):
+        state = GateState()
+        state.freeze_all()
+        state.thaw()
+        assert not state.hard_values and not state.hard_mask
+
+
+class TestTemperatureSchedule:
+    def test_starts_at_beta0(self):
+        schedule = ExponentialTemperatureSchedule(total_epochs=100)
+        assert schedule.value(0) == pytest.approx(1.0)
+
+    def test_ends_at_beta_max(self):
+        schedule = ExponentialTemperatureSchedule(total_epochs=100, beta_max=200.0)
+        assert schedule.value(100) == pytest.approx(200.0)
+        assert schedule.final() == pytest.approx(200.0)
+
+    def test_growth_is_exponential(self):
+        schedule = ExponentialTemperatureSchedule(total_epochs=2, beta0=1.0, beta_max=100.0)
+        assert schedule.value(1) == pytest.approx(10.0)
+
+    def test_monotonically_increasing(self):
+        schedule = ExponentialTemperatureSchedule(total_epochs=50)
+        values = [schedule.value(epoch) for epoch in range(51)]
+        assert values == sorted(values)
+
+    def test_clamps_out_of_range_epochs(self):
+        schedule = ExponentialTemperatureSchedule(total_epochs=10, beta_max=200.0)
+        assert schedule.value(-5) == pytest.approx(1.0)
+        assert schedule.value(500) == pytest.approx(200.0)
+
+    def test_rewound_schedule_matches_algorithm1(self):
+        schedule = ExponentialTemperatureSchedule(total_epochs=200, beta_max=200.0)
+        rewound = schedule.rewound(100)
+        assert rewound.total_epochs == 100
+        assert rewound.value(0) == pytest.approx(1.0)
+        assert rewound.value(100) == pytest.approx(200.0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            ExponentialTemperatureSchedule(total_epochs=0)
+        with pytest.raises(ValueError):
+            ExponentialTemperatureSchedule(total_epochs=10, beta0=-1.0)

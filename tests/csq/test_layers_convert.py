@@ -1,0 +1,220 @@
+"""Tests for CSQ layers, model conversion, precision accounting and freezing."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+from repro.csq import (
+    CSQConv2d,
+    CSQLinear,
+    GateState,
+    average_precision,
+    convert_to_csq,
+    csq_layers,
+    freeze_model,
+    layer_precisions,
+    materialize_quantized,
+    model_scheme,
+)
+from repro.csq.precision import layer_sizes
+from repro.models import SimpleConvNet, resnet20
+from repro.quant.functional import quantize_dequantize
+
+
+def randn(*shape, seed=0):
+    return np.random.default_rng(seed).standard_normal(shape).astype(np.float32)
+
+
+class TestCSQLayers:
+    def test_conv_from_float_preserves_shape(self):
+        conv = nn.Conv2d(3, 5, 3, stride=2, padding=1)
+        layer = CSQConv2d.from_float(conv, GateState(), num_bits=8)
+        out = layer(Tensor(randn(2, 3, 8, 8)))
+        assert out.shape == (2, 5, 4, 4)
+
+    def test_linear_from_float_preserves_shape(self):
+        linear = nn.Linear(6, 4)
+        layer = CSQLinear.from_float(linear, GateState())
+        assert layer(Tensor(randn(3, 6))).shape == (3, 4)
+
+    def test_frozen_forward_matches_8bit_quantized_float_layer(self):
+        conv = nn.Conv2d(2, 3, 3, padding=1, bias=False)
+        state = GateState()
+        layer = CSQConv2d.from_float(conv, state, num_bits=8)
+        state.freeze_all()
+        x = Tensor(randn(1, 2, 6, 6))
+        expected_weight = quantize_dequantize(conv.weight.data, 8)
+        from repro.nn import functional as F
+
+        expected = F.conv2d(x, Tensor(expected_weight), conv.bias, stride=1, padding=1)
+        np.testing.assert_allclose(layer(x).data, expected.data, atol=1e-3)
+
+    def test_weight_shape_validation(self):
+        with pytest.raises(ValueError):
+            CSQConv2d(2, 3, 3, randn(3, 3, 3, 3), None, GateState())
+        with pytest.raises(ValueError):
+            CSQLinear(4, 2, randn(3, 3), None, GateState())
+
+    def test_bias_is_preserved(self):
+        linear = nn.Linear(4, 2, bias=True)
+        layer = CSQLinear.from_float(linear, GateState())
+        np.testing.assert_allclose(layer.bias.data, linear.bias.data)
+
+    def test_layer_without_bias(self):
+        conv = nn.Conv2d(2, 2, 3, bias=False)
+        layer = CSQConv2d.from_float(conv, GateState())
+        assert layer.bias is None
+
+    def test_precision_property(self):
+        layer = CSQLinear.from_float(nn.Linear(4, 4), GateState(), num_bits=6)
+        assert layer.precision == 6
+
+    def test_parameters_registered_for_optimizer(self):
+        layer = CSQLinear.from_float(nn.Linear(4, 4, bias=True), GateState())
+        names = {name for name, _ in layer.named_parameters()}
+        assert {"scale", "m_p", "m_n", "m_b", "bias"}.issubset(names)
+
+    def test_activation_quantization_applied(self):
+        linear = nn.Linear(4, 2, bias=False)
+        state = GateState()
+        layer_fp_act = CSQLinear.from_float(linear, state, act_bits=32)
+        layer_q_act = CSQLinear.from_float(linear, state, act_bits=2)
+        layer_q_act.train()
+        x = Tensor(np.abs(randn(8, 4)))
+        assert not np.allclose(layer_fp_act(x).data, layer_q_act(x).data)
+
+
+class TestConversion:
+    def test_convert_replaces_all_conv_linear(self):
+        model = SimpleConvNet()
+        float_count = sum(
+            isinstance(m, (nn.Conv2d, nn.Linear)) for m in model.modules()
+        )
+        model, _ = convert_to_csq(model)
+        converted = list(csq_layers(model))
+        assert len(converted) == float_count
+        assert not any(
+            isinstance(m, (nn.Conv2d, nn.Linear)) for m in model.modules()
+        )
+
+    def test_convert_resnet20_layer_names_match_figure4(self):
+        model, _ = convert_to_csq(resnet20(width_mult=0.25))
+        names = [name for name, _ in csq_layers(model)]
+        assert "conv1" in names and "fc" in names and "layer2.1.conv2" in names
+
+    def test_skip_layers(self):
+        model = SimpleConvNet()
+        model, _ = convert_to_csq(model, skip_layers=["fc"])
+        assert isinstance(model.fc, nn.Linear)
+
+    def test_shared_state(self):
+        model, state = convert_to_csq(SimpleConvNet())
+        for _, layer in csq_layers(model):
+            assert layer.state is state
+
+    def test_convert_model_without_quantizable_layers_raises(self):
+        with pytest.raises(ValueError):
+            convert_to_csq(nn.Sequential(nn.ReLU()))
+
+    def test_forward_works_after_conversion(self):
+        model, _ = convert_to_csq(SimpleConvNet())
+        out = model(Tensor(randn(2, 3, 8, 8)))
+        assert out.shape == (2, 10)
+
+    def test_converted_model_output_close_to_float_at_init(self):
+        # With 8-bit init and hard gates, the converted model should almost
+        # exactly reproduce the float model's predictions.
+        float_model = SimpleConvNet()
+        float_model.eval()
+        x = Tensor(randn(4, 3, 8, 8))
+        reference = float_model(x).data.copy()
+        model, state = convert_to_csq(float_model)
+        state.freeze_all()
+        model.eval()
+        np.testing.assert_allclose(model(x).data, reference, atol=0.05)
+
+
+class TestPrecisionAccounting:
+    def test_layer_precisions_and_sizes(self):
+        model, _ = convert_to_csq(SimpleConvNet(width=4), num_bits=8)
+        precisions = layer_precisions(model)
+        sizes = layer_sizes(model)
+        assert set(precisions) == set(sizes)
+        assert all(bits == 8 for bits in precisions.values())
+
+    def test_average_precision_weighted_by_elements(self):
+        model, _ = convert_to_csq(SimpleConvNet(width=4), num_bits=8)
+        layers = dict(csq_layers(model))
+        # Prune half the bits of the largest layer and check the average moves
+        # according to the element weighting.
+        largest_name = max(layers, key=lambda n: layers[n].bitparam.num_elements())
+        layers[largest_name].bitparam.m_b.data[:4] = -1.0
+        sizes = layer_sizes(model)
+        expected = (
+            sum(8 * n for name, n in sizes.items() if name != largest_name)
+            + 4 * sizes[largest_name]
+        ) / sum(sizes.values())
+        assert average_precision(model) == pytest.approx(expected)
+
+    def test_average_precision_requires_csq_model(self):
+        with pytest.raises(ValueError):
+            average_precision(SimpleConvNet())
+
+    def test_model_scheme_compression(self):
+        model, _ = convert_to_csq(SimpleConvNet(width=4), num_bits=8)
+        scheme = model_scheme(model)
+        assert scheme.average_precision == pytest.approx(8.0)
+        assert scheme.compression_ratio == pytest.approx(4.0)
+
+    def test_scheme_layer_bits_match_layer_precisions(self):
+        model, _ = convert_to_csq(SimpleConvNet(width=4))
+        assert model_scheme(model).layer_bits() == {
+            name: float(bits) for name, bits in layer_precisions(model).items()
+        }
+
+
+class TestFreezeAndMaterialize:
+    def test_freeze_model_sets_hard_gates(self):
+        model, state = convert_to_csq(SimpleConvNet())
+        freeze_model(model)
+        assert state.hard_values and state.hard_mask
+
+    def test_freeze_requires_csq_model(self):
+        with pytest.raises(ValueError):
+            freeze_model(SimpleConvNet())
+
+    def test_materialize_produces_float_layers_with_frozen_weights(self):
+        model, state = convert_to_csq(SimpleConvNet())
+        freeze_model(model)
+        frozen_weights = {
+            name: layer.bitparam.frozen_weight() for name, layer in csq_layers(model)
+        }
+        materialized = materialize_quantized(model)
+        assert not list(csq_layers(materialized))
+        for name, module in materialized.named_modules():
+            if isinstance(module, (nn.Conv2d, nn.Linear)) and name in frozen_weights:
+                np.testing.assert_allclose(module.weight.data, frozen_weights[name])
+
+    def test_materialized_model_output_matches_frozen_csq_model(self):
+        model, state = convert_to_csq(SimpleConvNet(), act_bits=32)
+        freeze_model(model)
+        model.eval()
+        x = Tensor(randn(3, 3, 8, 8))
+        expected = model(x).data.copy()
+        materialized = materialize_quantized(model)
+        materialized.eval()
+        np.testing.assert_allclose(materialized(x).data, expected, atol=1e-4)
+
+    def test_materialized_weights_lie_on_claimed_grid(self):
+        model, state = convert_to_csq(SimpleConvNet(), num_bits=8)
+        # Prune some bits first so the grid is coarser than 8 bits.
+        for _, layer in csq_layers(model):
+            layer.bitparam.m_b.data[:3] = -1.0
+        freeze_model(model)
+        for _, layer in csq_layers(model):
+            q, scale = layer.bitparam.frozen_int_weight()
+            reconstructed = q * scale / (2 ** 8 - 1)
+            np.testing.assert_allclose(
+                layer.bitparam.frozen_weight(), reconstructed, atol=1e-5
+            )

@@ -1,0 +1,178 @@
+"""Tests for datasets, loaders, transforms and the synthetic generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Compose,
+    DataLoader,
+    Normalize,
+    RandomCrop,
+    RandomHorizontalFlip,
+    SyntheticImageClassification,
+    Subset,
+    TensorDataset,
+    cifar10_like,
+    imagenet_like,
+    make_classification_arrays,
+)
+from repro.data.dataset import train_val_split
+from repro.data.synthetic import SyntheticConfig
+
+
+class TestTensorDatasetAndSubset:
+    def test_length_and_items(self):
+        ds = TensorDataset(np.arange(10), np.arange(10) * 2)
+        assert len(ds) == 10
+        x, y = ds[3]
+        assert x == 3 and y == 6
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            TensorDataset(np.arange(3), np.arange(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TensorDataset()
+
+    def test_subset(self):
+        ds = TensorDataset(np.arange(10))
+        sub = Subset(ds, [1, 3, 5])
+        assert len(sub) == 3
+        assert sub[2][0] == 5
+
+    def test_train_val_split_partitions(self):
+        ds = TensorDataset(np.arange(100))
+        train, val = train_val_split(ds, val_fraction=0.2, seed=1)
+        assert len(train) == 80 and len(val) == 20
+        all_values = sorted([train[i][0] for i in range(80)] + [val[i][0] for i in range(20)])
+        assert all_values == list(range(100))
+
+    def test_train_val_split_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_val_split(TensorDataset(np.arange(10)), val_fraction=1.5)
+
+
+class TestDataLoader:
+    def test_batch_shapes(self):
+        images = np.zeros((20, 3, 8, 8), dtype=np.float32)
+        labels = np.zeros(20, dtype=np.int64)
+        loader = DataLoader(TensorDataset(images, labels), batch_size=6)
+        batches = list(loader)
+        assert batches[0][0].shape == (6, 3, 8, 8)
+        assert batches[-1][0].shape == (2, 3, 8, 8)
+        assert len(loader) == 4
+
+    def test_drop_last(self):
+        loader = DataLoader(TensorDataset(np.zeros((20, 2))), batch_size=6, drop_last=True)
+        assert len(loader) == 3
+        assert all(batch[0].shape[0] == 6 for batch in loader)
+
+    def test_shuffle_changes_order_but_not_content(self):
+        values = np.arange(32, dtype=np.float32).reshape(32, 1)
+        loader = DataLoader(TensorDataset(values, values), batch_size=32, shuffle=True, seed=3)
+        (batch_x, _) = next(iter(loader))
+        assert not np.array_equal(batch_x.ravel(), values.ravel())
+        assert sorted(batch_x.ravel().tolist()) == values.ravel().tolist()
+
+    def test_transform_applied_to_images_only(self):
+        images = np.ones((8, 1, 2, 2), dtype=np.float32)
+        labels = np.arange(8)
+        loader = DataLoader(
+            TensorDataset(images, labels), batch_size=4, transform=lambda img: img * 2.0
+        )
+        batch_x, batch_y = next(iter(loader))
+        np.testing.assert_allclose(batch_x, 2.0)
+        np.testing.assert_array_equal(batch_y, np.arange(4))
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(TensorDataset(np.zeros((4, 1))), batch_size=0)
+
+
+class TestTransforms:
+    def test_normalize(self):
+        image = np.ones((3, 4, 4), dtype=np.float32)
+        out = Normalize([1.0, 1.0, 1.0], [2.0, 2.0, 2.0])(image)
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_normalize_rejects_zero_std(self):
+        with pytest.raises(ValueError):
+            Normalize([0.0], [0.0])
+
+    def test_random_crop_preserves_shape(self):
+        image = np.random.default_rng(0).standard_normal((3, 16, 16)).astype(np.float32)
+        out = RandomCrop(16, padding=4, seed=0)(image)
+        assert out.shape == image.shape
+
+    def test_random_flip_preserves_shape_and_content_set(self):
+        image = np.arange(2 * 4 * 4, dtype=np.float32).reshape(2, 4, 4)
+        out = RandomHorizontalFlip(p=1.0, seed=0)(image)
+        np.testing.assert_allclose(out, image[:, :, ::-1])
+
+    def test_compose(self):
+        transform = Compose([lambda x: x + 1.0, lambda x: x * 2.0])
+        np.testing.assert_allclose(transform(np.zeros(3)), 2.0)
+
+
+class TestSyntheticDatasets:
+    def test_shapes_and_labels(self):
+        ds = cifar10_like(train=True, train_size=50, test_size=10, image_size=8)
+        assert len(ds) == 50
+        image, label = ds[0]
+        assert image.shape == (3, 8, 8)
+        assert 0 <= label < 10
+
+    def test_deterministic_given_seed(self):
+        a = cifar10_like(train=True, train_size=20, image_size=8, seed=3)
+        b = cifar10_like(train=True, train_size=20, image_size=8, seed=3)
+        np.testing.assert_allclose(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seed_changes_data(self):
+        a = cifar10_like(train=True, train_size=20, image_size=8, seed=3)
+        b = cifar10_like(train=True, train_size=20, image_size=8, seed=4)
+        assert not np.allclose(a.images, b.images)
+
+    def test_train_and_test_are_disjoint_draws(self):
+        train = cifar10_like(train=True, train_size=30, test_size=30, image_size=8)
+        test = cifar10_like(train=False, train_size=30, test_size=30, image_size=8)
+        assert not np.allclose(train.images[:10], test.images[:10])
+
+    def test_images_are_standardized(self):
+        ds = cifar10_like(train=True, train_size=200, image_size=8)
+        assert abs(float(ds.images.mean())) < 0.05
+        assert abs(float(ds.images.std()) - 1.0) < 0.05
+
+    def test_all_classes_present(self):
+        ds = cifar10_like(train=True, train_size=500, image_size=8)
+        assert set(np.unique(ds.labels)) == set(range(10))
+
+    def test_imagenet_like_has_many_classes(self):
+        ds = imagenet_like(train=True, train_size=300, test_size=10, num_classes=50, image_size=8)
+        assert ds.images.shape[1:] == (3, 8, 8)
+        assert ds.labels.max() < 50
+
+    def test_config_and_overrides_are_exclusive(self):
+        with pytest.raises(ValueError):
+            SyntheticImageClassification(SyntheticConfig(), train=True, noise=0.1)
+
+    def test_make_classification_arrays(self):
+        images, labels = make_classification_arrays(num_samples=32, num_classes=4, image_size=6)
+        assert images.shape == (32, 3, 6, 6)
+        assert labels.shape == (32,)
+
+    def test_class_structure_is_learnable_by_nearest_prototype(self):
+        # A nearest-class-mean classifier on the raw pixels should beat chance
+        # by a wide margin: the generative process is class-conditional.
+        ds_train = cifar10_like(train=True, train_size=400, image_size=8, noise=0.5)
+        ds_test = cifar10_like(train=False, train_size=400, test_size=200, image_size=8, noise=0.5)
+        means = np.stack(
+            [ds_train.images[ds_train.labels == c].mean(axis=0).ravel() for c in range(10)]
+        )
+        flat = ds_test.images.reshape(len(ds_test), -1)
+        predictions = np.argmin(
+            ((flat[:, None, :] - means[None, :, :]) ** 2).sum(axis=-1), axis=1
+        )
+        accuracy = float((predictions == ds_test.labels).mean())
+        assert accuracy > 0.35  # chance level is 0.10

@@ -1,0 +1,148 @@
+"""End-to-end integration tests across the whole stack.
+
+These exercise the same code paths as the benchmark harnesses but at the
+smallest possible scale, asserting the paper's qualitative invariants:
+
+* a float model trained on the synthetic task beats chance by a wide margin,
+* a CSQ model converges to (approximately) the requested precision budget,
+* the frozen CSQ model is exactly quantized and its materialised float copy
+  is functionally identical,
+* the baselines (uniform QAT, BSQ) run end to end on the same data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.baselines import BSQConfig, BSQTrainer, UniformQATConfig, train_uniform_qat
+from repro.csq import CSQConfig, CSQTrainer, csq_layers, materialize_quantized
+from repro.data import DataLoader
+from repro.data.synthetic import SyntheticConfig, SyntheticImageClassification
+from repro.models import SimpleConvNet
+from repro.optim import SGD, WarmupCosine
+from repro.training import evaluate, fit
+from repro.utils import seed_everything
+
+
+@pytest.fixture(scope="module")
+def loaders():
+    seed_everything(0)
+    config = SyntheticConfig(
+        num_classes=4, image_size=8, train_size=192, test_size=96,
+        modes_per_class=1, noise=0.5, seed=0,
+    )
+    train = SyntheticImageClassification(config, train=True)
+    test = SyntheticImageClassification(config, train=False)
+    return (
+        DataLoader(train, batch_size=32, shuffle=True, seed=0),
+        DataLoader(test, batch_size=48),
+    )
+
+
+@pytest.fixture(scope="module")
+def pretrained_float(loaders):
+    """A float model trained enough to clearly beat chance (shared by tests)."""
+    train_loader, test_loader = loaders
+    seed_everything(0)
+    model = SimpleConvNet(num_classes=4, width=8)
+    optimizer = SGD(model.parameters(), lr=0.1, momentum=0.9, weight_decay=5e-4)
+    scheduler = WarmupCosine(optimizer, total_epochs=8)
+    history = fit(model, train_loader, test_loader, optimizer, epochs=8, scheduler=scheduler)
+    return model, history
+
+
+class TestFloatTraining:
+    def test_float_model_beats_chance(self, pretrained_float):
+        _, history = pretrained_float
+        assert history.final_test_accuracy > 0.5  # chance is 0.25
+
+    def test_loss_decreases(self, pretrained_float):
+        _, history = pretrained_float
+        assert history.train_loss[-1] < history.train_loss[0]
+
+
+class TestCSQEndToEnd:
+    @pytest.fixture(scope="class")
+    def csq_trainer(self, loaders, pretrained_float):
+        train_loader, test_loader = loaders
+        model, _ = pretrained_float
+        seed_everything(1)
+        fresh = SimpleConvNet(num_classes=4, width=8)
+        fresh.load_state_dict(model.state_dict())
+        config = CSQConfig(
+            epochs=6, target_bits=3.0, lr=0.05, rep_lr_scale=4.0,
+            weight_decay=0.0, act_bits=32,
+        )
+        trainer = CSQTrainer(fresh, train_loader, test_loader, config)
+        trainer.train()
+        return trainer
+
+    def test_precision_close_to_target(self, csq_trainer):
+        assert abs(csq_trainer.average_precision() - 3.0) <= 1.5
+
+    def test_accuracy_beats_chance(self, csq_trainer):
+        assert csq_trainer.evaluate()["accuracy"] > 0.4
+
+    def test_compression_consistent_with_precision(self, csq_trainer):
+        scheme = csq_trainer.scheme()
+        assert scheme.compression_ratio == pytest.approx(
+            32.0 / scheme.average_precision, rel=1e-6
+        )
+
+    def test_frozen_model_is_exactly_quantized(self, csq_trainer):
+        for _, layer in csq_layers(csq_trainer.model):
+            q, scale = layer.bitparam.frozen_int_weight()
+            grid = q.astype(np.float32) * scale / (2 ** layer.num_bits - 1)
+            np.testing.assert_allclose(layer.bitparam.frozen_weight(), grid, atol=1e-5)
+
+    def test_materialized_model_matches_frozen_accuracy(self, csq_trainer, loaders):
+        _, test_loader = loaders
+        frozen_accuracy = csq_trainer.evaluate()["accuracy"]
+        materialized = materialize_quantized(csq_trainer.model)
+        materialized_accuracy = evaluate(materialized, test_loader)["accuracy"]
+        assert materialized_accuracy == pytest.approx(frozen_accuracy, abs=1e-6)
+
+    def test_precision_trajectory_recorded_per_epoch(self, csq_trainer):
+        assert len(csq_trainer.precision_trajectory()) == 6
+
+
+class TestBaselinesEndToEnd:
+    def test_uniform_qat_runs_and_beats_chance(self, loaders, pretrained_float):
+        train_loader, test_loader = loaders
+        model, _ = pretrained_float
+        fresh = SimpleConvNet(num_classes=4, width=8)
+        fresh.load_state_dict(model.state_dict())
+        config = UniformQATConfig(epochs=3, weight_bits=4, act_bits=32, lr=0.02)
+        _, history, scheme = train_uniform_qat(fresh, train_loader, test_loader, config)
+        assert history.final_test_accuracy > 0.4
+        assert scheme.compression_ratio == pytest.approx(8.0)
+
+    def test_bsq_runs_and_reduces_precision(self, loaders, pretrained_float):
+        train_loader, test_loader = loaders
+        model, _ = pretrained_float
+        fresh = SimpleConvNet(num_classes=4, width=8)
+        fresh.load_state_dict(model.state_dict())
+        config = BSQConfig(
+            epochs=3, lr=0.02, weight_decay=0.0, sparsity_strength=0.3,
+            prune_interval=1, prune_threshold=0.05,
+        )
+        trainer = BSQTrainer(fresh, train_loader, test_loader, config)
+        trainer.train()
+        assert trainer.average_precision() <= 8.0
+        assert trainer.evaluate()["accuracy"] > 0.3
+
+
+class TestTargetSweepShape:
+    def test_lower_target_gives_higher_compression(self, loaders, pretrained_float):
+        """Table V shape: compression is (roughly) inversely proportional to target."""
+        train_loader, test_loader = loaders
+        model, _ = pretrained_float
+        compressions = {}
+        for target in (2.0, 5.0):
+            fresh = SimpleConvNet(num_classes=4, width=8)
+            fresh.load_state_dict(model.state_dict())
+            config = CSQConfig(epochs=5, target_bits=target, lr=0.05, weight_decay=0.0)
+            trainer = CSQTrainer(fresh, train_loader, test_loader, config)
+            trainer.train()
+            compressions[target] = trainer.scheme().compression_ratio
+        assert compressions[2.0] > compressions[5.0]

@@ -1,0 +1,151 @@
+"""Tests for the model zoo: shapes, topology, registry."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+from repro.models import (
+    create_model,
+    list_models,
+    register_model,
+    resnet18,
+    resnet20,
+    resnet50,
+    vgg19_bn,
+    SimpleConvNet,
+    TinyMLP,
+)
+
+
+def images(batch=2, size=8, channels=3, seed=0):
+    return Tensor(np.random.default_rng(seed).standard_normal((batch, channels, size, size)).astype(np.float32))
+
+
+def conv_linear_names(model):
+    return [
+        name
+        for name, module in model.named_modules()
+        if isinstance(module, (nn.Conv2d, nn.Linear))
+    ]
+
+
+class TestResNetCIFAR:
+    def test_resnet20_output_shape(self):
+        model = resnet20(width_mult=0.25)
+        assert model(images(size=16)).shape == (2, 10)
+
+    def test_resnet20_has_paper_layer_names(self):
+        # The Figure 4 x-axis: conv1, layer{1,2,3}.{0,1,2}.conv{1,2}, fc.
+        names = conv_linear_names(resnet20(width_mult=0.25))
+        assert "conv1" in names
+        assert "layer1.0.conv1" in names
+        assert "layer3.2.conv2" in names
+        assert "fc" in names
+
+    def test_resnet20_quantizable_layer_count(self):
+        # 1 stem + 18 block convs + 2 downsample convs + 1 fc = 22.
+        names = conv_linear_names(resnet20(width_mult=0.25))
+        assert len(names) == 22
+
+    def test_resnet_depth_variants(self):
+        assert len(conv_linear_names(create_model("resnet32", width_mult=0.25))) > len(
+            conv_linear_names(resnet20(width_mult=0.25))
+        )
+
+    def test_width_mult_scales_parameters(self):
+        small = resnet20(width_mult=0.25).num_parameters()
+        large = resnet20(width_mult=0.5).num_parameters()
+        assert large > 2 * small
+
+    def test_gradients_flow_end_to_end(self):
+        model = resnet20(width_mult=0.25)
+        out = model(images(size=16))
+        out.sum().backward()
+        grads = [p.grad is not None for p in model.parameters()]
+        assert all(grads)
+
+
+class TestResNetImageNet:
+    def test_resnet18_small_input(self):
+        model = resnet18(num_classes=100, width_mult=0.125, small_input=True)
+        assert model(images(size=16)).shape == (2, 100)
+
+    def test_resnet18_standard_stem_downsamples(self):
+        model = resnet18(num_classes=10, width_mult=0.125, small_input=False)
+        assert model(images(size=64)).shape == (2, 10)
+
+    def test_resnet50_uses_bottleneck_expansion(self):
+        model = resnet50(num_classes=10, width_mult=0.125, small_input=True)
+        assert model.fc.in_features == model.layer4[-1].conv3.out_channels
+
+    def test_resnet50_output_shape(self):
+        model = resnet50(num_classes=7, width_mult=0.125, small_input=True)
+        assert model(images(size=16)).shape == (2, 7)
+
+    def test_resnet18_vs_resnet50_depth(self):
+        shallow = len(conv_linear_names(resnet18(width_mult=0.125, small_input=True)))
+        deep = len(conv_linear_names(resnet50(width_mult=0.125, small_input=True)))
+        assert deep > shallow
+
+
+class TestVGG:
+    def test_vgg19_output_shape(self):
+        model = vgg19_bn(num_classes=10, width_mult=0.125)
+        assert model(images(size=32)).shape == (2, 10)
+
+    def test_vgg19_has_16_convs(self):
+        convs = [
+            m for m in vgg19_bn(width_mult=0.125).modules() if isinstance(m, nn.Conv2d)
+        ]
+        assert len(convs) == 16
+
+    def test_vgg_variants_ordering(self):
+        assert (
+            create_model("vgg11_bn", width_mult=0.125).num_parameters()
+            < create_model("vgg19_bn", width_mult=0.125).num_parameters()
+        )
+
+    def test_unknown_cfg_rejected(self):
+        from repro.models.vgg import VGG
+
+        with pytest.raises(ValueError):
+            VGG("vgg7")
+
+
+class TestSimpleModels:
+    def test_simple_convnet(self):
+        model = SimpleConvNet(num_classes=5)
+        assert model(images(size=8)).shape == (2, 5)
+
+    def test_tiny_mlp(self):
+        model = TinyMLP(in_features=6, num_classes=3)
+        x = Tensor(np.zeros((4, 6), dtype=np.float32))
+        assert model(x).shape == (4, 3)
+
+
+class TestRegistry:
+    def test_all_builtins_listed(self):
+        names = list_models()
+        for expected in ("resnet20", "resnet18", "resnet50", "vgg19_bn", "simple_convnet"):
+            assert expected in names
+
+    def test_create_model_passes_kwargs(self):
+        model = create_model("resnet20", num_classes=7, width_mult=0.25)
+        assert model.fc.out_features == 7
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            create_model("not_a_model")
+
+    def test_register_model_decorator(self):
+        @register_model("test_dummy_model")
+        def factory():
+            return TinyMLP()
+
+        assert "test_dummy_model" in list_models()
+        assert isinstance(create_model("test_dummy_model"), TinyMLP)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_model("resnet20")(lambda: None)

@@ -1,0 +1,249 @@
+"""Forward/backward tests for the NN layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor, gradcheck
+from repro.nn import functional as F
+
+
+def randn(*shape, seed=0):
+    return np.random.default_rng(seed).standard_normal(shape).astype(np.float32)
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = nn.Linear(8, 3)
+        assert layer(Tensor(randn(5, 8))).shape == (5, 3)
+
+    def test_matches_manual_computation(self):
+        layer = nn.Linear(4, 2)
+        x = randn(3, 4)
+        expected = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected, atol=1e-5)
+
+    def test_no_bias(self):
+        layer = nn.Linear(4, 2, bias=False)
+        assert layer.bias is None
+        assert layer(Tensor(randn(3, 4))).shape == (3, 2)
+
+    def test_gradients_flow_to_parameters(self):
+        layer = nn.Linear(4, 2)
+        out = layer(Tensor(randn(3, 4)))
+        out.sum().backward()
+        assert layer.weight.grad is not None and layer.bias.grad is not None
+
+    def test_gradcheck(self):
+        x = Tensor(np.random.default_rng(0).standard_normal((3, 4)), requires_grad=True)
+        w = Tensor(np.random.default_rng(1).standard_normal((2, 4)), requires_grad=True)
+        b = Tensor(np.random.default_rng(2).standard_normal(2), requires_grad=True)
+        gradcheck(lambda x_, w_, b_: F.linear(x_, w_, b_), [x, w, b])
+
+
+class TestConv2d:
+    def test_output_shape_padding(self):
+        layer = nn.Conv2d(3, 8, 3, stride=1, padding=1)
+        assert layer(Tensor(randn(2, 3, 6, 6))).shape == (2, 8, 6, 6)
+
+    def test_output_shape_stride(self):
+        layer = nn.Conv2d(3, 8, 3, stride=2, padding=1)
+        assert layer(Tensor(randn(2, 3, 8, 8))).shape == (2, 8, 4, 4)
+
+    def test_no_bias(self):
+        layer = nn.Conv2d(3, 4, 3, bias=False)
+        assert layer.bias is None
+
+    def test_gradients_flow(self):
+        layer = nn.Conv2d(2, 3, 3, padding=1)
+        layer(Tensor(randn(1, 2, 5, 5))).sum().backward()
+        assert layer.weight.grad is not None
+
+    def test_one_by_one_conv_is_channel_mix(self):
+        layer = nn.Conv2d(3, 2, 1, bias=False)
+        x = randn(1, 3, 4, 4)
+        out = layer(Tensor(x))
+        expected = np.einsum("oi,nihw->nohw", layer.weight.data[:, :, 0, 0], x)
+        np.testing.assert_allclose(out.data, expected, atol=1e-5)
+
+
+class TestBatchNorm:
+    def test_training_normalizes_batch(self):
+        layer = nn.BatchNorm2d(4)
+        x = randn(8, 4, 5, 5) * 3.0 + 2.0
+        out = layer(Tensor(x))
+        mean = out.data.mean(axis=(0, 2, 3))
+        std = out.data.std(axis=(0, 2, 3))
+        np.testing.assert_allclose(mean, 0.0, atol=1e-4)
+        np.testing.assert_allclose(std, 1.0, atol=1e-2)
+
+    def test_running_stats_updated_in_training(self):
+        layer = nn.BatchNorm2d(2)
+        before = layer.running_mean.data.copy()
+        layer(Tensor(randn(4, 2, 3, 3) + 5.0))
+        assert not np.allclose(layer.running_mean.data, before)
+
+    def test_eval_uses_running_stats(self):
+        layer = nn.BatchNorm2d(2)
+        for _ in range(20):
+            layer(Tensor(randn(16, 2, 3, 3) * 2.0 + 1.0))
+        layer.eval()
+        x = randn(4, 2, 3, 3, seed=5) * 2.0 + 1.0
+        out = layer(Tensor(x))
+        # Should roughly standardize given converged running stats.
+        assert abs(out.data.mean()) < 0.5
+
+    def test_eval_does_not_update_running_stats(self):
+        layer = nn.BatchNorm2d(2)
+        layer.eval()
+        before = layer.running_mean.data.copy()
+        layer(Tensor(randn(4, 2, 3, 3) + 3.0))
+        np.testing.assert_allclose(layer.running_mean.data, before)
+
+    def test_affine_false_has_no_parameters(self):
+        layer = nn.BatchNorm2d(3, affine=False)
+        assert list(layer.parameters()) == []
+
+    def test_batchnorm1d(self):
+        layer = nn.BatchNorm1d(5)
+        out = layer(Tensor(randn(10, 5) * 2.0 + 1.0))
+        np.testing.assert_allclose(out.data.mean(axis=0), 0.0, atol=1e-4)
+
+    def test_gradients_flow_to_affine_params(self):
+        layer = nn.BatchNorm2d(2)
+        layer(Tensor(randn(4, 2, 3, 3))).sum().backward()
+        assert layer.weight.grad is not None and layer.bias.grad is not None
+
+
+class TestPoolingAndShape:
+    def test_max_pool(self):
+        assert nn.MaxPool2d(2)(Tensor(randn(1, 2, 6, 6))).shape == (1, 2, 3, 3)
+
+    def test_avg_pool(self):
+        assert nn.AvgPool2d(2)(Tensor(randn(1, 2, 6, 6))).shape == (1, 2, 3, 3)
+
+    def test_adaptive_avg_pool(self):
+        assert nn.AdaptiveAvgPool2d(1)(Tensor(randn(2, 3, 7, 7))).shape == (2, 3, 1, 1)
+
+    def test_adaptive_rejects_non_one(self):
+        with pytest.raises(NotImplementedError):
+            nn.AdaptiveAvgPool2d(2)
+
+    def test_flatten(self):
+        assert nn.Flatten()(Tensor(randn(2, 3, 4, 4))).shape == (2, 48)
+
+    def test_identity(self):
+        x = Tensor(randn(2, 3))
+        assert nn.Identity()(x) is x
+
+
+class TestActivationsAndDropout:
+    def test_relu_layer(self):
+        out = nn.ReLU()(Tensor(np.array([-1.0, 2.0], dtype=np.float32)))
+        np.testing.assert_allclose(out.data, [0.0, 2.0])
+
+    def test_leaky_relu_layer(self):
+        out = nn.LeakyReLU(0.1)(Tensor(np.array([-10.0, 2.0], dtype=np.float32)))
+        np.testing.assert_allclose(out.data, [-1.0, 2.0], atol=1e-6)
+
+    def test_sigmoid_tanh_layers(self):
+        x = Tensor(np.zeros(3, dtype=np.float32))
+        np.testing.assert_allclose(nn.Sigmoid()(x).data, 0.5)
+        np.testing.assert_allclose(nn.Tanh()(x).data, 0.0)
+
+    def test_dropout_eval_is_identity(self):
+        layer = nn.Dropout(0.5)
+        layer.eval()
+        x = randn(10, 10)
+        np.testing.assert_allclose(layer(Tensor(x)).data, x)
+
+    def test_dropout_training_zeroes_some_and_rescales(self):
+        layer = nn.Dropout(0.5, seed=0)
+        x = np.ones((100, 100), dtype=np.float32)
+        out = layer(Tensor(x)).data
+        zero_fraction = float((out == 0).mean())
+        assert 0.3 < zero_fraction < 0.7
+        surviving = out[out != 0]
+        np.testing.assert_allclose(surviving, 2.0, atol=1e-5)
+
+    def test_dropout_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+
+class TestContainers:
+    def test_sequential_chains(self):
+        model = nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 2))
+        assert model(Tensor(randn(3, 4))).shape == (3, 2)
+
+    def test_sequential_len_getitem_iter(self):
+        model = nn.Sequential(nn.ReLU(), nn.Tanh())
+        assert len(model) == 2
+        assert isinstance(model[1], nn.Tanh)
+        assert len(list(iter(model))) == 2
+
+    def test_sequential_append(self):
+        model = nn.Sequential(nn.ReLU())
+        model.append(nn.Tanh())
+        assert len(model) == 2
+
+    def test_module_list_registers_parameters(self):
+        holder = nn.ModuleList([nn.Linear(2, 2), nn.Linear(2, 2)])
+        assert len(list(holder.parameters())) == 4
+
+    def test_module_list_has_no_forward(self):
+        with pytest.raises(NotImplementedError):
+            nn.ModuleList([nn.ReLU()])(Tensor(randn(1, 1)))
+
+
+class TestLosses:
+    def test_cross_entropy_uniform_logits(self):
+        logits = Tensor(np.zeros((4, 10), dtype=np.float32))
+        loss = nn.CrossEntropyLoss()(logits, np.zeros(4, dtype=int))
+        assert float(loss.data) == pytest.approx(np.log(10), abs=1e-5)
+
+    def test_cross_entropy_perfect_prediction_is_small(self):
+        logits = np.full((2, 3), -50.0, dtype=np.float32)
+        logits[:, 1] = 50.0
+        loss = nn.CrossEntropyLoss()(Tensor(logits), np.array([1, 1]))
+        assert float(loss.data) < 1e-3
+
+    def test_cross_entropy_reductions(self):
+        logits = Tensor(randn(6, 4))
+        targets = np.array([0, 1, 2, 3, 0, 1])
+        mean_loss = F.cross_entropy(logits, targets, reduction="mean")
+        sum_loss = F.cross_entropy(logits, targets, reduction="sum")
+        none_loss = F.cross_entropy(logits, targets, reduction="none")
+        assert none_loss.shape == (6,)
+        assert float(sum_loss.data) == pytest.approx(float(mean_loss.data) * 6, rel=1e-5)
+
+    def test_cross_entropy_label_smoothing_increases_loss_on_confident_preds(self):
+        logits = np.full((2, 3), -50.0, dtype=np.float32)
+        logits[:, 1] = 50.0
+        sharp = F.cross_entropy(Tensor(logits), np.array([1, 1]))
+        smooth = F.cross_entropy(Tensor(logits), np.array([1, 1]), label_smoothing=0.2)
+        assert float(smooth.data) > float(sharp.data)
+
+    def test_cross_entropy_invalid_reduction(self):
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(randn(2, 3)), np.array([0, 1]), reduction="bogus")
+
+    def test_cross_entropy_gradient_direction(self):
+        logits = Tensor(np.zeros((1, 3), dtype=np.float32), requires_grad=True)
+        F.cross_entropy(logits, np.array([2])).backward()
+        # Gradient should be positive for wrong classes, negative for the target.
+        assert logits.grad[0, 2] < 0
+        assert logits.grad[0, 0] > 0 and logits.grad[0, 1] > 0
+
+    def test_mse_loss(self):
+        prediction = Tensor(np.array([1.0, 2.0], dtype=np.float32))
+        target = np.array([0.0, 0.0], dtype=np.float32)
+        assert float(nn.MSELoss()(prediction, target).data) == pytest.approx(2.5)
+
+    def test_accuracy_metric(self):
+        logits = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]], dtype=np.float32)
+        assert F.accuracy(Tensor(logits), np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_topk_accuracy(self):
+        logits = np.array([[0.5, 0.3, 0.2], [0.1, 0.2, 0.7]], dtype=np.float32)
+        assert F.accuracy(Tensor(logits), np.array([1, 0]), topk=2) == pytest.approx(0.5)

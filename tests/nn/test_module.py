@@ -1,0 +1,130 @@
+"""Tests for the Module base class: registration, traversal, state dicts."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+from repro.nn.parameter import Parameter
+
+
+class _Leaf(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.weight = Parameter(np.ones((2, 2), dtype=np.float32))
+        self.register_buffer("running", Tensor(np.zeros(2, dtype=np.float32)))
+
+    def forward(self, x):
+        return x
+
+
+class _Tree(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.left = _Leaf()
+        self.right = _Leaf()
+        self.top = Parameter(np.zeros(3, dtype=np.float32))
+
+    def forward(self, x):
+        return x
+
+
+class TestRegistration:
+    def test_parameters_are_registered(self):
+        module = _Tree()
+        names = dict(module.named_parameters())
+        assert set(names) == {"top", "left.weight", "right.weight"}
+
+    def test_buffers_are_registered(self):
+        module = _Tree()
+        names = dict(module.named_buffers())
+        assert set(names) == {"left.running", "right.running"}
+
+    def test_modules_traversal_includes_self(self):
+        module = _Tree()
+        assert len(list(module.modules())) == 3
+
+    def test_named_children(self):
+        module = _Tree()
+        assert [name for name, _ in module.named_children()] == ["left", "right"]
+
+    def test_register_parameter_none_allows_missing_bias(self):
+        linear = nn.Linear(3, 4, bias=False)
+        assert linear.bias is None
+        assert "bias" not in dict(linear.named_parameters())
+
+    def test_add_module_replaces_child(self):
+        module = _Tree()
+        module.add_module("left", nn.Identity())
+        assert isinstance(module.left, nn.Identity)
+        assert "left.weight" not in dict(module.named_parameters())
+
+    def test_num_parameters(self):
+        module = _Tree()
+        assert module.num_parameters() == 4 + 4 + 3
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        module = _Tree()
+        module.eval()
+        assert not module.left.training
+        module.train()
+        assert module.right.training
+
+    def test_zero_grad_clears_all(self):
+        module = _Tree()
+        for param in module.parameters():
+            param.grad = np.ones_like(param.data)
+        module.zero_grad()
+        assert all(param.grad is None for param in module.parameters())
+
+    def test_apply_visits_every_module(self):
+        module = _Tree()
+        visited = []
+        module.apply(lambda m: visited.append(type(m).__name__))
+        assert len(visited) == 3
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        module = _Tree()
+        module.top.data[:] = 7.0
+        state = module.state_dict()
+        fresh = _Tree()
+        fresh.load_state_dict(state)
+        np.testing.assert_allclose(fresh.top.data, 7.0)
+
+    def test_state_dict_contains_buffers(self):
+        assert "left.running" in _Tree().state_dict()
+
+    def test_strict_load_rejects_missing_keys(self):
+        module = _Tree()
+        state = module.state_dict()
+        state.pop("top")
+        with pytest.raises(KeyError):
+            module.load_state_dict(state)
+
+    def test_strict_load_rejects_unexpected_keys(self):
+        module = _Tree()
+        state = module.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            module.load_state_dict(state)
+
+    def test_non_strict_load_ignores_mismatches(self):
+        module = _Tree()
+        state = module.state_dict()
+        state.pop("top")
+        module.load_state_dict(state, strict=False)
+
+    def test_load_rejects_shape_mismatch(self):
+        module = _Tree()
+        state = module.state_dict()
+        state["top"] = np.zeros(99)
+        with pytest.raises(ValueError):
+            module.load_state_dict(state)
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            nn.Module()(1)

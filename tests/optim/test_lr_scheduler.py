@@ -1,0 +1,115 @@
+"""Tests for learning-rate schedules."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn.parameter import Parameter
+from repro.optim import SGD, ConstantLR, CosineAnnealingLR, LinearWarmup, StepLR, WarmupCosine
+
+
+def make_optimizer(lr=0.1):
+    return SGD([Parameter(np.zeros(1, dtype=np.float32))], lr=lr)
+
+
+class TestCosineAnnealing:
+    def test_starts_at_base_lr(self):
+        opt = make_optimizer(0.1)
+        CosineAnnealingLR(opt, t_max=10)
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_reaches_eta_min_at_t_max(self):
+        opt = make_optimizer(0.1)
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.001)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.001, abs=1e-6)
+
+    def test_halfway_is_half(self):
+        opt = make_optimizer(0.2)
+        sched = CosineAnnealingLR(opt, t_max=10)
+        for _ in range(5):
+            sched.step()
+        assert opt.lr == pytest.approx(0.1, abs=1e-6)
+
+    def test_monotonically_decreasing(self):
+        opt = make_optimizer(0.1)
+        sched = CosineAnnealingLR(opt, t_max=20)
+        values = [opt.lr]
+        for _ in range(20):
+            sched.step()
+            values.append(opt.lr)
+        assert all(b <= a + 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_invalid_t_max(self):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(make_optimizer(), t_max=0)
+
+
+class TestWarmupCosine:
+    def test_warmup_ramps_up(self):
+        opt = make_optimizer(0.1)
+        sched = WarmupCosine(opt, total_epochs=20, warmup_epochs=5)
+        values = [opt.lr]
+        for _ in range(5):
+            sched.step()
+            values.append(opt.lr)
+        assert values[0] < values[4] <= 0.1 + 1e-9
+
+    def test_no_warmup_equals_cosine(self):
+        opt_a, opt_b = make_optimizer(0.1), make_optimizer(0.1)
+        warmup = WarmupCosine(opt_a, total_epochs=10, warmup_epochs=0)
+        cosine = CosineAnnealingLR(opt_b, t_max=10)
+        for _ in range(10):
+            warmup.step()
+            cosine.step()
+            assert opt_a.lr == pytest.approx(opt_b.lr, abs=1e-9)
+
+    def test_ends_near_zero(self):
+        opt = make_optimizer(0.1)
+        sched = WarmupCosine(opt, total_epochs=10, warmup_epochs=2)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr < 0.01
+
+    def test_per_group_lrs_are_scaled_independently(self):
+        p1 = Parameter(np.zeros(1, dtype=np.float32))
+        p2 = Parameter(np.zeros(1, dtype=np.float32))
+        opt = SGD([{"params": [p1], "lr": 0.1}, {"params": [p2], "lr": 1.0}], lr=0.1)
+        sched = WarmupCosine(opt, total_epochs=10, warmup_epochs=0)
+        for _ in range(5):
+            sched.step()
+        assert opt.param_groups[0]["lr"] == pytest.approx(0.05, abs=1e-6)
+        assert opt.param_groups[1]["lr"] == pytest.approx(0.5, abs=1e-6)
+
+    def test_invalid_total_epochs(self):
+        with pytest.raises(ValueError):
+            WarmupCosine(make_optimizer(), total_epochs=0)
+
+
+class TestOtherSchedules:
+    def test_constant(self):
+        opt = make_optimizer(0.3)
+        sched = ConstantLR(opt)
+        for _ in range(5):
+            sched.step()
+        assert opt.lr == pytest.approx(0.3)
+
+    def test_step_lr(self):
+        opt = make_optimizer(1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(5):
+            lrs.append(opt.lr)
+            sched.step()
+        assert lrs[0] == pytest.approx(1.0)
+        assert lrs[2] == pytest.approx(0.1)
+        assert lrs[4] == pytest.approx(0.01)
+
+    def test_linear_warmup_reaches_base(self):
+        opt = make_optimizer(0.4)
+        sched = LinearWarmup(opt, warmup_epochs=4)
+        for _ in range(4):
+            sched.step()
+        assert opt.lr == pytest.approx(0.4)

@@ -1,0 +1,121 @@
+"""Tests for SGD/Adam and parameter groups."""
+
+import numpy as np
+import pytest
+
+from repro.nn.parameter import Parameter
+from repro.optim import SGD, Adam
+from repro.optim.optimizer import Optimizer
+
+
+def make_param(value=1.0, size=3):
+    return Parameter(np.full(size, value, dtype=np.float32))
+
+
+class TestOptimizerBase:
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_param_groups_inherit_defaults(self):
+        p1, p2 = make_param(), make_param()
+        opt = SGD([{"params": [p1]}, {"params": [p2], "lr": 0.5}], lr=0.1, momentum=0.9)
+        assert opt.param_groups[0]["lr"] == pytest.approx(0.1)
+        assert opt.param_groups[1]["lr"] == pytest.approx(0.5)
+        assert opt.param_groups[1]["momentum"] == pytest.approx(0.9)
+
+    def test_group_without_params_key_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([{"lr": 0.1}], lr=0.1)
+
+    def test_zero_grad(self):
+        param = make_param()
+        param.grad = np.ones(3, dtype=np.float32)
+        SGD([param], lr=0.1).zero_grad()
+        assert param.grad is None
+
+    def test_set_lr(self):
+        opt = SGD([make_param()], lr=0.1)
+        opt.set_lr(0.01)
+        assert opt.lr == pytest.approx(0.01)
+
+
+class TestSGD:
+    def test_plain_step(self):
+        param = make_param(1.0)
+        param.grad = np.full(3, 0.5, dtype=np.float32)
+        SGD([param], lr=0.1).step()
+        np.testing.assert_allclose(param.data, 0.95)
+
+    def test_skips_params_without_grad(self):
+        param = make_param(1.0)
+        SGD([param], lr=0.1).step()
+        np.testing.assert_allclose(param.data, 1.0)
+
+    def test_weight_decay_adds_l2_gradient(self):
+        param = make_param(1.0)
+        param.grad = np.zeros(3, dtype=np.float32)
+        SGD([param], lr=0.1, weight_decay=0.1).step()
+        np.testing.assert_allclose(param.data, 1.0 - 0.1 * 0.1, atol=1e-6)
+
+    def test_momentum_accumulates(self):
+        param = make_param(0.0)
+        opt = SGD([param], lr=1.0, momentum=0.9)
+        param.grad = np.ones(3, dtype=np.float32)
+        opt.step()  # buffer = 1, step = -1
+        np.testing.assert_allclose(param.data, -1.0)
+        param.grad = np.ones(3, dtype=np.float32)
+        opt.step()  # buffer = 1.9, total = -2.9
+        np.testing.assert_allclose(param.data, -2.9, atol=1e-5)
+
+    def test_nesterov_differs_from_plain_momentum(self):
+        param_a, param_b = make_param(0.0), make_param(0.0)
+        opt_a = SGD([param_a], lr=1.0, momentum=0.9, nesterov=False)
+        opt_b = SGD([param_b], lr=1.0, momentum=0.9, nesterov=True)
+        for opt, param in ((opt_a, param_a), (opt_b, param_b)):
+            param.grad = np.ones(3, dtype=np.float32)
+            opt.step()
+        assert not np.allclose(param_a.data, param_b.data)
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            SGD([make_param()], lr=-1.0)
+        with pytest.raises(ValueError):
+            SGD([make_param()], lr=0.1, momentum=-0.5)
+        with pytest.raises(ValueError):
+            SGD([make_param()], lr=0.1, nesterov=True)
+
+    def test_minimizes_quadratic(self):
+        param = Parameter(np.array([5.0], dtype=np.float32))
+        opt = SGD([param], lr=0.1, momentum=0.9)
+        for _ in range(200):
+            param.grad = 2.0 * param.data
+            opt.step()
+        assert abs(float(param.data[0])) < 1e-2
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self):
+        param = make_param(0.0)
+        opt = Adam([param], lr=0.01)
+        param.grad = np.full(3, 10.0, dtype=np.float32)
+        opt.step()
+        np.testing.assert_allclose(param.data, -0.01, atol=1e-4)
+
+    def test_minimizes_quadratic(self):
+        param = Parameter(np.array([3.0], dtype=np.float32))
+        opt = Adam([param], lr=0.2)
+        for _ in range(200):
+            param.grad = 2.0 * param.data
+            opt.step()
+        assert abs(float(param.data[0])) < 1e-2
+
+    def test_weight_decay(self):
+        param = make_param(1.0)
+        param.grad = np.zeros(3, dtype=np.float32)
+        Adam([param], lr=0.1, weight_decay=1.0).step()
+        assert np.all(param.data < 1.0)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([make_param()], betas=(1.5, 0.9))

@@ -1,0 +1,143 @@
+"""Tests for uniform quantization primitives and the Eq. (1) bit decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.quant.functional import (
+    bit_decompose,
+    bit_reconstruct,
+    quantization_error,
+    quantize_dequantize,
+    quantize_to_int,
+    symmetric_scale,
+)
+
+
+def randn(*shape, seed=0):
+    return np.random.default_rng(seed).standard_normal(shape).astype(np.float32)
+
+
+class TestSymmetricScale:
+    def test_scale_is_max_abs(self):
+        w = np.array([-3.0, 1.0, 2.0], dtype=np.float32)
+        assert symmetric_scale(w) == pytest.approx(3.0)
+
+    def test_zero_tensor_gets_unit_scale(self):
+        assert symmetric_scale(np.zeros(4, dtype=np.float32)) == pytest.approx(1.0)
+
+
+class TestQuantizeToInt:
+    def test_range_is_bounded_by_levels(self):
+        w = randn(100) * 5
+        q, _ = quantize_to_int(w, bits=3)
+        assert q.max() <= 7 and q.min() >= -7
+
+    def test_max_weight_maps_to_max_level(self):
+        w = np.array([-1.0, 0.5, 1.0], dtype=np.float32)
+        q, scale = quantize_to_int(w, bits=2)
+        assert scale == pytest.approx(1.0)
+        assert q.tolist() == [-3, 2, 3]
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            quantize_to_int(randn(3), bits=0)
+
+
+class TestQuantizeDequantize:
+    def test_identity_for_representable_values(self):
+        scale = 1.0
+        levels = 2 ** 3 - 1
+        w = np.array([i / levels for i in range(-levels, levels + 1)], dtype=np.float32)
+        np.testing.assert_allclose(quantize_dequantize(w, 3, scale), w, atol=1e-6)
+
+    def test_error_bounded_by_half_step(self):
+        w = randn(1000)
+        scale = symmetric_scale(w)
+        step = scale / (2 ** 4 - 1)
+        error = np.abs(w - quantize_dequantize(w, 4))
+        assert error.max() <= step / 2 + 1e-6
+
+    def test_error_decreases_with_bits(self):
+        w = randn(2000)
+        errors = [quantization_error(w, bits) for bits in (2, 4, 6, 8)]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_8bit_error_is_negligible(self):
+        w = randn(500)
+        assert quantization_error(w, 8) < 1e-4
+
+
+class TestBitDecomposition:
+    def test_reconstruction_matches_quantize_dequantize(self):
+        w = randn(64)
+        for bits in (2, 4, 8):
+            planes_p, planes_n, scale = bit_decompose(w, bits)
+            reconstructed = bit_reconstruct(planes_p, planes_n, scale)
+            np.testing.assert_allclose(
+                reconstructed, quantize_dequantize(w, bits), atol=1e-5
+            )
+
+    def test_planes_are_binary(self):
+        planes_p, planes_n, _ = bit_decompose(randn(32), 8)
+        assert set(np.unique(planes_p)).issubset({0.0, 1.0})
+        assert set(np.unique(planes_n)).issubset({0.0, 1.0})
+
+    def test_positive_and_negative_planes_are_exclusive(self):
+        planes_p, planes_n, _ = bit_decompose(randn(128), 8)
+        active_p = planes_p.sum(axis=0) > 0
+        active_n = planes_n.sum(axis=0) > 0
+        assert not np.any(active_p & active_n)
+
+    def test_plane_shapes(self):
+        planes_p, planes_n, _ = bit_decompose(randn(4, 5), 6)
+        assert planes_p.shape == (6, 4, 5)
+        assert planes_n.shape == (6, 4, 5)
+
+    def test_masking_msb_reduces_magnitude(self):
+        w = np.array([1.0], dtype=np.float32)
+        planes_p, planes_n, scale = bit_decompose(w, 4)
+        full = bit_reconstruct(planes_p, planes_n, scale)
+        mask = np.array([1, 1, 1, 0], dtype=np.float32)  # drop the MSB
+        masked = bit_reconstruct(planes_p, planes_n, scale, bit_mask=mask)
+        assert abs(masked[0]) < abs(full[0])
+
+    def test_masking_all_bits_gives_zero(self):
+        planes_p, planes_n, scale = bit_decompose(randn(16), 4)
+        masked = bit_reconstruct(planes_p, planes_n, scale, bit_mask=np.zeros(4))
+        np.testing.assert_allclose(masked, 0.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    hnp.arrays(
+        dtype=np.float32,
+        shape=st.integers(min_value=1, max_value=64),
+        elements=st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, width=32),
+    ),
+    st.integers(min_value=1, max_value=8),
+)
+def test_property_bit_reconstruction_equals_uniform_quantization(weights, bits):
+    planes_p, planes_n, scale = bit_decompose(weights, bits)
+    np.testing.assert_allclose(
+        bit_reconstruct(planes_p, planes_n, scale),
+        quantize_dequantize(weights, bits),
+        atol=1e-4,
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    hnp.arrays(
+        dtype=np.float32,
+        shape=st.integers(min_value=1, max_value=64),
+        elements=st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, width=32),
+    ),
+    st.integers(min_value=1, max_value=8),
+)
+def test_property_quantization_error_bounded(weights, bits):
+    scale = symmetric_scale(weights)
+    step = scale / (2 ** bits - 1)
+    error = np.abs(weights - quantize_dequantize(weights, bits))
+    assert float(error.max(initial=0.0)) <= step / 2 + 1e-5

@@ -1,0 +1,232 @@
+"""Tests for STE ops, observers, fake-quantizers and baseline quantizers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+from repro.quant import (
+    ActivationQuantizer,
+    DoReFaActivationQuantizer,
+    DoReFaWeightQuantizer,
+    FakeQuantize,
+    LQNetsWeightQuantizer,
+    MinMaxObserver,
+    MovingAverageMinMaxObserver,
+    PACTActivationQuantizer,
+    QConv2d,
+    QLinear,
+    WeightFakeQuantize,
+)
+from repro.quant.ste import ste_binary, ste_clamp, ste_round, ste_sign
+
+
+def randn(*shape, seed=0):
+    return np.random.default_rng(seed).standard_normal(shape).astype(np.float32)
+
+
+class TestSTE:
+    def test_ste_round_forward(self):
+        x = Tensor(np.array([0.4, 0.6, -1.2], dtype=np.float32))
+        np.testing.assert_allclose(ste_round(x).data, [0.0, 1.0, -1.0])
+
+    def test_ste_round_gradient_is_identity(self):
+        x = Tensor(randn(5), requires_grad=True)
+        ste_round(x).sum().backward()
+        np.testing.assert_allclose(x.grad, 1.0)
+
+    def test_ste_sign_forward_and_clipped_gradient(self):
+        x = Tensor(np.array([-2.0, -0.5, 0.5, 2.0], dtype=np.float32), requires_grad=True)
+        out = ste_sign(x)
+        np.testing.assert_allclose(out.data, [-1.0, -1.0, 1.0, 1.0])
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 1.0, 0.0])
+
+    def test_ste_clamp_passes_gradient_everywhere(self):
+        x = Tensor(np.array([-5.0, 0.0, 5.0], dtype=np.float32), requires_grad=True)
+        ste_clamp(x, -1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, 1.0)
+
+    def test_ste_binary(self):
+        x = Tensor(np.array([0.2, 0.8], dtype=np.float32), requires_grad=True)
+        out = ste_binary(x)
+        np.testing.assert_allclose(out.data, [0.0, 1.0])
+
+
+class TestObservers:
+    def test_minmax_tracks_extremes(self):
+        obs = MinMaxObserver()
+        obs.observe(np.array([1.0, 5.0]))
+        obs.observe(np.array([-2.0, 3.0]))
+        assert obs.range() == (-2.0, 5.0)
+
+    def test_minmax_default_range(self):
+        assert MinMaxObserver().range() == (0.0, 1.0)
+
+    def test_moving_average_smooths(self):
+        obs = MovingAverageMinMaxObserver(momentum=0.5)
+        obs.observe(np.array([0.0, 10.0]))
+        obs.observe(np.array([0.0, 0.0]))
+        _, upper = obs.range()
+        assert 0.0 < upper < 10.0
+
+    def test_moving_average_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            MovingAverageMinMaxObserver(momentum=1.0)
+
+    def test_empty_observation_ignored(self):
+        obs = MinMaxObserver()
+        obs.observe(np.array([]))
+        assert not obs.observed
+
+
+class TestWeightFakeQuantize:
+    def test_values_land_on_grid(self):
+        quantizer = WeightFakeQuantize(bits=3)
+        w = Tensor(randn(100))
+        out = quantizer(w)
+        scale = float(np.max(np.abs(w.data)))
+        levels = 2 ** 3 - 1
+        grid_positions = out.data / scale * levels
+        np.testing.assert_allclose(grid_positions, np.round(grid_positions), atol=1e-4)
+
+    def test_32bit_is_identity(self):
+        quantizer = WeightFakeQuantize(bits=32)
+        w = Tensor(randn(10))
+        assert quantizer(w) is w
+
+    def test_gradient_passes_through(self):
+        quantizer = WeightFakeQuantize(bits=4)
+        w = Tensor(randn(10), requires_grad=True)
+        quantizer(w).sum().backward()
+        assert w.grad is not None
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            WeightFakeQuantize(bits=0)
+
+
+class TestActivationQuantizers:
+    def test_fake_quantize_clips_to_observed_range(self):
+        quantizer = FakeQuantize(bits=4)
+        quantizer.train()
+        x = Tensor(np.linspace(0, 4, 50, dtype=np.float32))
+        quantizer(x)
+        quantizer.eval()
+        out = quantizer(Tensor(np.array([100.0], dtype=np.float32)))
+        assert float(out.data[0]) <= 4.0 + 1e-5
+
+    def test_activation_quantizer_identity_at_32_bits(self):
+        quantizer = ActivationQuantizer(bits=32)
+        x = Tensor(randn(5))
+        np.testing.assert_allclose(quantizer(x).data, x.data)
+
+    def test_activation_quantizer_levels(self):
+        quantizer = ActivationQuantizer(bits=2)
+        x = Tensor(np.linspace(0, 1, 64, dtype=np.float32))
+        out = quantizer(x)
+        assert len(np.unique(np.round(out.data, 5))) <= 2 ** 2
+
+    def test_activation_quantizer_unknown_mode(self):
+        with pytest.raises(ValueError):
+            ActivationQuantizer(bits=4, mode="bogus")
+
+    def test_pact_learns_alpha_gradient(self):
+        quantizer = PACTActivationQuantizer(bits=4, alpha_init=1.0)
+        x = Tensor(np.array([0.5, 2.0, 3.0], dtype=np.float32), requires_grad=True)
+        out = quantizer(x)
+        out.sum().backward()
+        # Elements above alpha route their gradient into alpha.
+        assert quantizer.alpha.grad is not None
+        assert float(quantizer.alpha.grad[0]) == pytest.approx(2.0)
+
+    def test_pact_output_bounded_by_alpha(self):
+        quantizer = PACTActivationQuantizer(bits=3, alpha_init=2.0)
+        out = quantizer(Tensor(np.array([-1.0, 5.0], dtype=np.float32)))
+        assert float(out.data.min()) >= 0.0
+        assert float(out.data.max()) <= 2.0 + 1e-5
+
+
+class TestDoReFa:
+    def test_weight_output_bounded(self):
+        quantizer = DoReFaWeightQuantizer(bits=2)
+        w = Tensor(randn(200) * 3)
+        out = quantizer(w)
+        assert float(np.abs(out.data).max()) <= 1.0 + 1e-5
+
+    def test_weight_discrete_levels(self):
+        quantizer = DoReFaWeightQuantizer(bits=2)
+        out = quantizer(Tensor(randn(500)))
+        assert len(np.unique(np.round(out.data, 5))) <= 2 ** 2 + 1
+
+    def test_activation_clips_to_unit_interval(self):
+        quantizer = DoReFaActivationQuantizer(bits=3)
+        out = quantizer(Tensor(np.array([-1.0, 0.5, 3.0], dtype=np.float32)))
+        assert float(out.data.min()) >= 0.0 and float(out.data.max()) <= 1.0
+
+    def test_gradients_flow(self):
+        quantizer = DoReFaWeightQuantizer(bits=3)
+        w = Tensor(randn(10), requires_grad=True)
+        quantizer(w).sum().backward()
+        assert w.grad is not None
+
+
+class TestLQNets:
+    def test_output_uses_at_most_2_pow_bits_levels(self):
+        quantizer = LQNetsWeightQuantizer(bits=2)
+        quantizer.train()
+        out = quantizer(Tensor(randn(400)))
+        assert len(np.unique(np.round(out.data, 5))) <= 4
+
+    def test_qem_reduces_quantization_error_vs_initial_basis(self):
+        rng = np.random.default_rng(0)
+        w = rng.standard_normal(2000).astype(np.float32)
+        quantizer = LQNetsWeightQuantizer(bits=3, qem_iterations=0)
+        quantizer._basis = quantizer._init_basis(w)
+        initial_error = float(np.mean((w - quantizer.quantize_array(w)) ** 2))
+        trained = LQNetsWeightQuantizer(bits=3, qem_iterations=10)
+        trained._qem_update(w)
+        trained_error = float(np.mean((w - trained.quantize_array(w)) ** 2))
+        assert trained_error <= initial_error + 1e-9
+
+    def test_more_bits_reduce_error(self):
+        w = randn(2000)
+        errors = []
+        for bits in (1, 2, 4):
+            quantizer = LQNetsWeightQuantizer(bits=bits, qem_iterations=5)
+            quantizer._qem_update(w)
+            errors.append(float(np.mean((w - quantizer.quantize_array(w)) ** 2)))
+        assert errors[0] >= errors[1] >= errors[2]
+
+    def test_rejects_too_many_bits(self):
+        with pytest.raises(ValueError):
+            LQNetsWeightQuantizer(bits=9)
+
+
+class TestQATWrappers:
+    def test_qconv_preserves_shape(self):
+        conv = nn.Conv2d(3, 4, 3, padding=1)
+        wrapped = QConv2d.from_float(conv, WeightFakeQuantize(4), ActivationQuantizer(4))
+        out = wrapped(Tensor(randn(2, 3, 6, 6)))
+        assert out.shape == (2, 4, 6, 6)
+
+    def test_qlinear_preserves_shape(self):
+        linear = nn.Linear(6, 3)
+        wrapped = QLinear.from_float(linear, WeightFakeQuantize(4))
+        assert wrapped(Tensor(randn(5, 6))).shape == (5, 3)
+
+    def test_wrapper_shares_float_weight(self):
+        conv = nn.Conv2d(2, 2, 3)
+        wrapped = QConv2d.from_float(conv, WeightFakeQuantize(4))
+        assert wrapped.weight is conv.weight
+
+    def test_weight_bits_reported(self):
+        linear = nn.Linear(4, 4)
+        wrapped = QLinear.from_float(linear, WeightFakeQuantize(bits=3))
+        assert wrapped.weight_bits == 3
+
+    def test_gradient_reaches_latent_weight(self):
+        conv = nn.Conv2d(2, 2, 3, padding=1)
+        wrapped = QConv2d.from_float(conv, WeightFakeQuantize(2))
+        wrapped(Tensor(randn(1, 2, 5, 5))).sum().backward()
+        assert conv.weight.grad is not None

@@ -1,0 +1,93 @@
+"""Tests for quantization-scheme bookkeeping and compression accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import compression_ratio, fp32_model_bits, quantizable_layer_sizes
+from repro.models import SimpleConvNet
+from repro.quant.scheme import LayerQuantSpec, QuantizationScheme
+
+
+class TestLayerQuantSpec:
+    def test_size_bits(self):
+        spec = LayerQuantSpec("conv1", num_elements=100, bits=3)
+        assert spec.size_bits == 300
+        assert spec.fp32_size_bits == 3200
+
+
+class TestQuantizationScheme:
+    def test_uniform_scheme_compression(self):
+        scheme = QuantizationScheme.uniform({"a": 100, "b": 300}, bits=4)
+        assert scheme.average_precision == pytest.approx(4.0)
+        assert scheme.compression_ratio == pytest.approx(8.0)
+
+    def test_mixed_scheme_average_is_element_weighted(self):
+        scheme = QuantizationScheme.from_layer_bits(
+            {"small": 100, "large": 900}, {"small": 8, "large": 2}
+        )
+        assert scheme.average_precision == pytest.approx((100 * 8 + 900 * 2) / 1000)
+
+    def test_from_layer_bits_missing_layer(self):
+        with pytest.raises(KeyError):
+            QuantizationScheme.from_layer_bits({"a": 10}, {})
+
+    def test_empty_scheme(self):
+        scheme = QuantizationScheme()
+        assert scheme.average_precision == 0.0
+        assert scheme.compression_ratio == float("inf")
+
+    def test_layer_bits_mapping(self):
+        scheme = QuantizationScheme.from_layer_bits({"a": 10, "b": 20}, {"a": 2, "b": 5})
+        assert scheme.layer_bits() == {"a": 2, "b": 5}
+
+    def test_summary_contains_all_layers(self):
+        scheme = QuantizationScheme.uniform({"conv1": 10, "fc": 20}, bits=3)
+        text = scheme.summary()
+        assert "conv1" in text and "fc" in text and "TOTAL" in text
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=1.0, max_value=16.0, allow_nan=False))
+    def test_property_compression_equals_32_over_uniform_bits(self, bits):
+        scheme = QuantizationScheme.uniform({"layer": 1234}, bits=bits)
+        assert scheme.compression_ratio == pytest.approx(32.0 / bits)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.dictionaries(
+            st.sampled_from(["a", "b", "c", "d"]),
+            st.tuples(st.integers(1, 1000), st.integers(1, 8)),
+            min_size=1,
+        )
+    )
+    def test_property_average_precision_within_min_max(self, layers):
+        scheme = QuantizationScheme()
+        for name, (numel, bits) in layers.items():
+            scheme.add_layer(name, numel, bits)
+        bits_values = [spec.bits for spec in scheme.layers]
+        assert min(bits_values) - 1e-9 <= scheme.average_precision <= max(bits_values) + 1e-9
+
+
+class TestModelSizeAnalysis:
+    def test_quantizable_layer_sizes_counts_conv_and_linear_only(self):
+        model = SimpleConvNet(width=4)
+        sizes = quantizable_layer_sizes(model)
+        assert set(sizes) == {"conv1", "conv2", "fc"}
+        assert sizes["conv1"] == 4 * 3 * 3 * 3
+
+    def test_fp32_model_bits(self):
+        assert fp32_model_bits({"a": 10, "b": 20}) == 30 * 32
+
+    def test_compression_ratio_uniform(self):
+        sizes = {"a": 50, "b": 150}
+        assert compression_ratio(sizes, {"a": 4, "b": 4}) == pytest.approx(8.0)
+
+    def test_compression_ratio_missing_layer(self):
+        with pytest.raises(KeyError):
+            compression_ratio({"a": 10}, {})
+
+    def test_compression_matches_scheme_object(self):
+        sizes = {"a": 64, "b": 128}
+        bits = {"a": 2, "b": 6}
+        scheme = QuantizationScheme.from_layer_bits(sizes, bits)
+        assert compression_ratio(sizes, bits) == pytest.approx(scheme.compression_ratio)

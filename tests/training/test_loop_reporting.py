@@ -1,0 +1,117 @@
+"""Tests for the generic training loop, experiment results and reporting."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import dump_results, format_series, format_table
+from repro.autograd import Tensor
+from repro.models import SimpleConvNet, TinyMLP
+from repro.optim import SGD, WarmupCosine
+from repro.training import ExperimentResult, TrainingHistory, evaluate, fit, train_epoch
+from repro.training.loop import evaluate as evaluate_fn
+
+
+class TestTrainingLoop:
+    def test_train_epoch_returns_metrics(self, tiny_loaders):
+        train_loader, _ = tiny_loaders
+        model = SimpleConvNet(num_classes=4, width=4)
+        optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9)
+        metrics = train_epoch(model, train_loader, optimizer)
+        assert set(metrics) == {"loss", "accuracy"}
+        assert metrics["loss"] > 0.0
+
+    def test_train_epoch_with_extra_loss(self, tiny_loaders):
+        train_loader, _ = tiny_loaders
+        model = SimpleConvNet(num_classes=4, width=4)
+        optimizer = SGD(model.parameters(), lr=0.05)
+        calls = []
+
+        def extra():
+            calls.append(1)
+            return Tensor(np.array([0.0], dtype=np.float32))
+
+        train_epoch(model, train_loader, optimizer, extra_loss=extra)
+        assert len(calls) == len(train_loader)
+
+    def test_evaluate_no_gradients_and_deterministic(self, tiny_loaders):
+        _, test_loader = tiny_loaders
+        model = SimpleConvNet(num_classes=4, width=4)
+        first = evaluate(model, test_loader)
+        second = evaluate(model, test_loader)
+        assert first["accuracy"] == pytest.approx(second["accuracy"])
+        assert all(param.grad is None for param in model.parameters())
+
+    def test_fit_records_history_and_learns(self, tiny_loaders):
+        train_loader, test_loader = tiny_loaders
+        model = SimpleConvNet(num_classes=4, width=4)
+        optimizer = SGD(model.parameters(), lr=0.1, momentum=0.9)
+        scheduler = WarmupCosine(optimizer, total_epochs=5)
+        history = fit(model, train_loader, test_loader, optimizer, epochs=5, scheduler=scheduler)
+        assert len(history.train_loss) == 5
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_fit_on_epoch_end_callback(self, tiny_loaders):
+        train_loader, test_loader = tiny_loaders
+        model = SimpleConvNet(num_classes=4, width=4)
+        optimizer = SGD(model.parameters(), lr=0.05)
+        seen = []
+        fit(
+            model, train_loader, test_loader, optimizer, epochs=2,
+            on_epoch_end=lambda epoch, history: seen.append(epoch),
+        )
+        assert seen == [0, 1]
+
+    def test_history_best_and_final(self):
+        history = TrainingHistory(test_accuracy=[0.1, 0.5, 0.3])
+        assert history.best_test_accuracy == pytest.approx(0.5)
+        assert history.final_test_accuracy == pytest.approx(0.3)
+
+    def test_history_extra_series(self):
+        history = TrainingHistory()
+        history.record_extra("beta", 1.0)
+        history.record_extra("beta", 2.0)
+        assert history.extra["beta"] == [1.0, 2.0]
+
+
+class TestReporting:
+    def _result(self, method="CSQ T3", accuracy=0.92):
+        return ExperimentResult(
+            method=method,
+            model="ResNet-20",
+            dataset="cifar10_like",
+            weight_bits="MP",
+            activation_bits="3",
+            compression=10.49,
+            accuracy=accuracy,
+            average_precision=3.05,
+        )
+
+    def test_experiment_result_row_formatting(self):
+        row = self._result().as_row()
+        assert row["Acc(%)"] == "92.00"
+        assert row["Comp(x)"] == "10.49"
+        assert row["W-Bits"] == "MP"
+
+    def test_format_table_contains_all_methods(self):
+        table = format_table([self._result("FP"), self._result("CSQ T2")])
+        assert "FP" in table and "CSQ T2" in table and "Comp(x)" in table
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no results)"
+
+    def test_format_series(self):
+        text = format_series("Figure 3", {"target 3-bit": [8.0, 5.0, 3.1], "target 2-bit": [8.0, 4.0]})
+        assert "Figure 3" in text
+        assert "target 3-bit" in text
+        assert "3.100" in text
+
+    def test_dump_results_json_roundtrip(self, tmp_path):
+        path = dump_results(tmp_path / "out" / "results.json", [self._result()])
+        payload = json.loads(path.read_text())
+        assert payload[0]["Method"] == "CSQ T3"
+
+    def test_dump_results_accepts_dict(self, tmp_path):
+        path = dump_results(tmp_path / "results.json", {"series": [1, 2, 3]})
+        assert json.loads(path.read_text())["series"] == [1, 2, 3]

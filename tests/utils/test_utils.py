@@ -1,0 +1,82 @@
+"""Tests for the shared utilities."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+from repro.utils import get_logger, moving_average, seed_everything, topk_indices
+
+
+class TestSeeding:
+    def test_seed_everything_makes_init_deterministic(self):
+        seed_everything(7)
+        a = init.kaiming_normal((4, 4))
+        seed_everything(7)
+        b = init.kaiming_normal((4, 4))
+        np.testing.assert_allclose(a, b)
+
+    def test_returns_generator(self):
+        rng = seed_everything(3)
+        assert isinstance(rng, np.random.Generator)
+
+    def test_different_seeds_differ(self):
+        seed_everything(1)
+        a = init.kaiming_normal((4, 4))
+        seed_everything(2)
+        b = init.kaiming_normal((4, 4))
+        assert not np.allclose(a, b)
+
+
+class TestInitializers:
+    def test_kaiming_normal_std(self):
+        weights = init.kaiming_normal((256, 128, 3, 3), mode="fan_out")
+        expected_std = np.sqrt(2.0 / (256 * 9))
+        assert np.std(weights) == pytest.approx(expected_std, rel=0.05)
+
+    def test_kaiming_uniform_bounded(self):
+        weights = init.kaiming_uniform((64, 64))
+        bound = np.sqrt(2.0 / (1 + 5)) * np.sqrt(3.0 / 64)
+        assert np.abs(weights).max() <= bound + 1e-6
+
+    def test_xavier_uniform_bounded(self):
+        weights = init.xavier_uniform((32, 16))
+        bound = np.sqrt(6.0 / (16 + 32))
+        assert np.abs(weights).max() <= bound + 1e-6
+
+    def test_bias_bound(self):
+        bias = init.uniform_fan_in_bias((8, 4), 8)
+        assert np.abs(bias).max() <= 0.5 + 1e-6
+
+    def test_zeros_ones_normal(self):
+        assert np.all(init.zeros((3,)) == 0)
+        assert np.all(init.ones((3,)) == 1)
+        assert init.normal((1000,), std=2.0).std() == pytest.approx(2.0, rel=0.1)
+
+
+class TestNumericHelpers:
+    def test_moving_average_window_one_is_identity(self):
+        values = [1.0, 2.0, 3.0]
+        np.testing.assert_allclose(moving_average(values, 1), values)
+
+    def test_moving_average_smooths(self):
+        values = [0.0, 10.0, 0.0, 10.0]
+        smoothed = moving_average(values, 2)
+        np.testing.assert_allclose(smoothed, [0.0, 5.0, 5.0, 5.0])
+
+    def test_moving_average_empty(self):
+        assert moving_average([], 3).size == 0
+
+    def test_topk_indices(self):
+        values = [1.0, 9.0, 3.0, 7.0]
+        np.testing.assert_array_equal(topk_indices(values, 2), [1, 3])
+
+    def test_topk_larger_than_length(self):
+        assert len(topk_indices([1.0, 2.0], 10)) == 2
+
+
+class TestLogger:
+    def test_get_logger_idempotent_handlers(self):
+        logger_a = get_logger("repro.test")
+        logger_b = get_logger("repro.test")
+        assert logger_a is logger_b
+        assert len(logger_a.handlers) == 1
