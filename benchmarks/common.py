@@ -51,9 +51,23 @@ class BenchScale:
 
 
 _SCALES: Dict[str, BenchScale] = {
+    # quick-scale retune (rationale; enabled by the ~2.4x train-step speedup
+    # of the vectorized hot-path overhaul, see PERFORMANCE.md — both longer
+    # schedules together still cost less wall-clock than the seed's):
+    #
+    # * sweep_epochs: 16 (was 8).  The figure-2/3/4 sweeps schedule the
+    #   budget-aware regularizer over the whole run, so the *weakest*
+    #   still-converging lambda (1e-3, per the paper) needs enough epochs for
+    #   the mask gates to cross zero — at 8 epochs it stalls near the 8-bit
+    #   initialisation (final avg precision ~7.6 vs the 3-bit target), at 16
+    #   it converges to ~3.8.
+    # * pretrain_epochs: 14 (was 10).  The shared float checkpoint sat right
+    #   on the tables' `fp_accuracy > 0.5` assertion boundary (10 epochs:
+    #   exactly 0.50); 14 epochs reaches ~0.68, giving every
+    #   pretrained-checkpoint bench honest headroom instead of a knife-edge.
     "quick": BenchScale(
         train_size=600, test_size=200, image_size=12, batch_size=50,
-        width_mult=0.2, pretrain_epochs=10, epochs=6, scratch_epochs=10, sweep_epochs=8,
+        width_mult=0.2, pretrain_epochs=14, epochs=6, scratch_epochs=10, sweep_epochs=16,
     ),
     "full": BenchScale(
         train_size=2000, test_size=500, image_size=16, batch_size=64,
@@ -75,53 +89,66 @@ def bench_scale() -> BenchScale:
 # ---------------------------------------------------------------------------
 
 
-@lru_cache(maxsize=None)
-def cifar_loaders(seed: int = 0) -> Tuple[DataLoader, DataLoader]:
-    """CIFAR-10 stand-in loaders at the current bench scale."""
+# Datasets are cached (synthetic generation is the expensive part), but every
+# call builds *fresh* DataLoaders: a DataLoader's shuffle RNG advances per
+# epoch, so sharing loader objects across benches made each bench's training
+# trajectory depend on which benches ran before it in the same process.
+# Fresh loaders give every bench the identical batch stream whether it runs
+# alone or in the full suite.
+
+
+def _dataset_config(kind: str, seed: int) -> SyntheticConfig:
     scale = bench_scale()
-    config = SyntheticConfig(
-        num_classes=10, image_size=scale.image_size, train_size=scale.train_size,
-        test_size=scale.test_size, modes_per_class=2, noise=0.8, seed=seed,
+    if kind == "cifar":
+        return SyntheticConfig(
+            num_classes=10, image_size=scale.image_size, train_size=scale.train_size,
+            test_size=scale.test_size, modes_per_class=2, noise=0.8, seed=seed,
+        )
+    if kind == "cifar32":
+        return SyntheticConfig(
+            num_classes=10, image_size=32, train_size=min(scale.train_size, 300),
+            test_size=min(scale.test_size, 150), modes_per_class=2, noise=0.8, seed=seed,
+        )
+    if kind == "imagenet":
+        return SyntheticConfig(
+            num_classes=20, image_size=scale.image_size, train_size=scale.train_size,
+            test_size=scale.test_size, modes_per_class=2, noise=0.9, seed=seed,
+        )
+    raise KeyError(f"Unknown bench dataset {kind!r}")
+
+
+@lru_cache(maxsize=None)
+def _datasets(kind: str, seed: int):
+    config = _dataset_config(kind, seed)
+    return (
+        SyntheticImageClassification(config, train=True),
+        SyntheticImageClassification(config, train=False),
     )
-    train = SyntheticImageClassification(config, train=True)
-    test = SyntheticImageClassification(config, train=False)
+
+
+def _fresh_loaders(kind: str, seed: int) -> Tuple[DataLoader, DataLoader]:
+    scale = bench_scale()
+    train, test = _datasets(kind, seed)
     return (
         DataLoader(train, batch_size=scale.batch_size, shuffle=True, seed=seed),
         DataLoader(test, batch_size=2 * scale.batch_size),
     )
 
 
-@lru_cache(maxsize=None)
+def cifar_loaders(seed: int = 0) -> Tuple[DataLoader, DataLoader]:
+    """CIFAR-10 stand-in loaders at the current bench scale."""
+    return _fresh_loaders("cifar", seed)
+
+
 def cifar32_loaders(seed: int = 0) -> Tuple[DataLoader, DataLoader]:
     """32×32 CIFAR-10 stand-in for the VGG19BN bench (five pooling stages need
     at least 32×32 inputs); smaller sample count keeps the bench CPU-feasible."""
-    scale = bench_scale()
-    config = SyntheticConfig(
-        num_classes=10, image_size=32, train_size=min(scale.train_size, 300),
-        test_size=min(scale.test_size, 150), modes_per_class=2, noise=0.8, seed=seed,
-    )
-    train = SyntheticImageClassification(config, train=True)
-    test = SyntheticImageClassification(config, train=False)
-    return (
-        DataLoader(train, batch_size=scale.batch_size, shuffle=True, seed=seed),
-        DataLoader(test, batch_size=2 * scale.batch_size),
-    )
+    return _fresh_loaders("cifar32", seed)
 
 
-@lru_cache(maxsize=None)
 def imagenet_loaders(seed: int = 1) -> Tuple[DataLoader, DataLoader]:
     """ImageNet stand-in loaders (more classes, harder) at the current scale."""
-    scale = bench_scale()
-    config = SyntheticConfig(
-        num_classes=20, image_size=scale.image_size, train_size=scale.train_size,
-        test_size=scale.test_size, modes_per_class=2, noise=0.9, seed=seed,
-    )
-    train = SyntheticImageClassification(config, train=True)
-    test = SyntheticImageClassification(config, train=False)
-    return (
-        DataLoader(train, batch_size=scale.batch_size, shuffle=True, seed=seed),
-        DataLoader(test, batch_size=2 * scale.batch_size),
-    )
+    return _fresh_loaders("imagenet", seed)
 
 
 def _loaders_for(dataset: str) -> Tuple[DataLoader, DataLoader]:

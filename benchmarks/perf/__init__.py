@@ -1,0 +1,21 @@
+"""Performance benchmark subsystem.
+
+Op-level microbenches and an end-to-end train-step throughput bench, run
+through a suite/label/JSON harness (modeled on the delta-rs-benchmarking
+pattern: named suites, labeled runs, machine-readable results, and a
+base-vs-candidate comparison script).
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.perf.run --suite all --label candidate
+    PYTHONPATH=src python -m benchmarks.perf.run --suite ops --scale tiny
+    python scripts/perf_compare.py BENCH_perf.json candidate.json
+
+Results are written as JSON (default ``BENCH_perf.json``); the committed
+copy at the repository root is the performance baseline that
+``scripts/perf_smoke.sh`` gates regressions against.
+"""
+
+from benchmarks.perf.harness import BenchCase, BenchResult, run_suites, SUITES
+
+__all__ = ["BenchCase", "BenchResult", "run_suites", "SUITES"]

@@ -1,0 +1,118 @@
+"""Op-level microbenches for the training-step hot paths.
+
+Cases are expressed against stable public APIs (``ops.im2col``,
+``ops.conv2d``, ``BitParameterization.relaxed_weight``) so the same bench
+code can be pointed at an older library checkout (``PYTHONPATH`` swap) for a
+base-vs-candidate comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from benchmarks.perf.harness import BenchCase, register_suite
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.csq.bitparam import BitParameterization
+from repro.csq.gates import GateState
+
+# (batch, channels, height, width), (out_channels, kernel), csq weight shape
+_SHAPES: Dict[str, dict] = {
+    "quick": {
+        "conv_x": (50, 16, 12, 12),
+        "conv_w": (32, 16, 3, 3),
+        "csq_w": (32, 16, 3, 3),
+        "pool_x": (50, 32, 12, 12),
+    },
+    "tiny": {
+        "conv_x": (8, 8, 8, 8),
+        "conv_w": (8, 8, 3, 3),
+        "csq_w": (8, 8, 3, 3),
+        "pool_x": (8, 8, 8, 8),
+    },
+}
+
+
+def _shapes(scale: str) -> dict:
+    if scale not in _SHAPES:
+        raise KeyError(f"Unknown perf scale {scale!r}; choose from {sorted(_SHAPES)}")
+    return _SHAPES[scale]
+
+
+@register_suite("ops")
+def build_ops_suite(scale: str) -> List[BenchCase]:
+    shapes = _shapes(scale)
+    rng = np.random.default_rng(0)
+
+    def im2col_setup():
+        return rng.standard_normal(shapes["conv_x"]).astype(np.float32)
+
+    def im2col_fn(x):
+        return ops.im2col(x, 3, 3, 1, 1)
+
+    def conv_setup() -> Tuple[Tensor, Tensor, np.ndarray]:
+        x = Tensor(rng.standard_normal(shapes["conv_x"]).astype(np.float32), requires_grad=True)
+        w = Tensor(rng.standard_normal(shapes["conv_w"]).astype(np.float32), requires_grad=True)
+        out_shape = ops.conv2d(x, w, stride=1, padding=1).shape
+        return x, w, np.ones(out_shape, dtype=np.float32)
+
+    def conv_forward_fn(state):
+        x, w, _ = state
+        return ops.conv2d(x, w, stride=1, padding=1)
+
+    def conv_fwd_bwd_fn(state):
+        x, w, seed_grad = state
+        x.zero_grad(), w.zero_grad()
+        out = ops.conv2d(x, w, stride=1, padding=1)
+        out.backward(seed_grad)
+        return out
+
+    def pool_setup():
+        return Tensor(
+            rng.standard_normal(shapes["pool_x"]).astype(np.float32), requires_grad=True
+        )
+
+    def max_pool_fwd_bwd_fn(x):
+        x.zero_grad()
+        out = ops.max_pool2d(x, 2, 2)
+        out.sum().backward()
+        return out
+
+    batch = shapes["conv_x"][0]
+    return [
+        BenchCase("im2col_3x3_s1_p1", im2col_setup, im2col_fn, batch, "image"),
+        BenchCase("conv2d_forward", conv_setup, conv_forward_fn, batch, "image"),
+        BenchCase("conv2d_fwd_bwd", conv_setup, conv_fwd_bwd_fn, batch, "image"),
+        BenchCase("max_pool2d_fwd_bwd", pool_setup, max_pool_fwd_bwd_fn, batch, "image"),
+    ]
+
+
+@register_suite("csq")
+def build_csq_suite(scale: str) -> List[BenchCase]:
+    shapes = _shapes(scale)
+
+    def reconstruct_setup():
+        weight = np.random.default_rng(1).standard_normal(shapes["csq_w"]).astype(np.float32)
+        return BitParameterization(weight, num_bits=8), GateState(beta=5.0, beta_mask=5.0)
+
+    def reconstruct_forward_fn(state):
+        bp, gate_state = state
+        return bp.relaxed_weight(gate_state)
+
+    def reconstruct_fwd_bwd_fn(state):
+        bp, gate_state = state
+        for p in bp.all_parameters():
+            p.zero_grad()
+        out = bp.relaxed_weight(gate_state)
+        out.sum().backward()
+        return out
+
+    elements = float(np.prod(shapes["csq_w"]))
+    return [
+        BenchCase("csq_reconstruct_forward", reconstruct_setup, reconstruct_forward_fn,
+                  elements, "weight"),
+        BenchCase("csq_reconstruct_fwd_bwd", reconstruct_setup, reconstruct_fwd_bwd_fn,
+                  elements, "weight"),
+    ]

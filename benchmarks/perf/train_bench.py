@@ -1,0 +1,106 @@
+"""End-to-end train-step throughput bench.
+
+Times full optimization steps (forward, loss, backward, SGD update) of the
+CSQ resnet20 configuration the table/figure benches run, measured in
+images/second.  This is the number the ≥2× tentpole target is asserted
+against (see PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from benchmarks.perf.harness import BenchCase, register_suite
+
+_TRAIN_SCALES = {
+    # Mirrors benchmarks.common quick BenchScale (batch 50, 12x12 images,
+    # width 0.2) without importing it, so the bench also runs against
+    # library checkouts whose BenchScale differs.
+    "quick": {"batch": 50, "image": 12, "width": 0.2, "steps_per_call": 2},
+    "tiny": {"batch": 10, "image": 8, "width": 0.2, "steps_per_call": 1},
+}
+
+
+@register_suite("train")
+def build_train_suite(scale: str) -> List[BenchCase]:
+    if scale not in _TRAIN_SCALES:
+        raise KeyError(f"Unknown perf scale {scale!r}; choose from {sorted(_TRAIN_SCALES)}")
+    cfg = _TRAIN_SCALES[scale]
+
+    def csq_step_setup():
+        from repro.autograd.tensor import Tensor
+        from repro.csq.convert import convert_to_csq
+        from repro.csq.regularizer import BudgetAwareRegularizer
+        from repro.models import create_model
+        from repro.nn import functional as F
+        from repro.optim import SGD
+        from repro.utils import seed_everything
+
+        seed_everything(0)
+        model = create_model("resnet20", num_classes=10, width_mult=cfg["width"])
+        model, state = convert_to_csq(model, num_bits=8, act_bits=3)
+        state.set_temperature(5.0)
+        regularizer = BudgetAwareRegularizer(target_bits=3.0, base_strength=0.01)
+        optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9)
+        rng = np.random.default_rng(0)
+        images = rng.standard_normal(
+            (cfg["batch"], 3, cfg["image"], cfg["image"])
+        ).astype(np.float32)
+        labels = rng.integers(0, 10, size=cfg["batch"])
+        model.train()
+
+        def step():
+            logits = model(Tensor(images))
+            loss = F.cross_entropy(logits, labels)
+            loss = loss + regularizer(model, state).sum()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            return float(loss.data)
+
+        return step
+
+    def csq_step_fn(step):
+        for _ in range(cfg["steps_per_call"]):
+            step()
+
+    def float_step_setup():
+        from repro.autograd.tensor import Tensor
+        from repro.models import create_model
+        from repro.nn import functional as F
+        from repro.optim import SGD
+        from repro.utils import seed_everything
+
+        seed_everything(0)
+        model = create_model("resnet20", num_classes=10, width_mult=cfg["width"])
+        optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9)
+        rng = np.random.default_rng(0)
+        images = rng.standard_normal(
+            (cfg["batch"], 3, cfg["image"], cfg["image"])
+        ).astype(np.float32)
+        labels = rng.integers(0, 10, size=cfg["batch"])
+        model.train()
+
+        def step():
+            logits = model(Tensor(images))
+            loss = F.cross_entropy(logits, labels)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            return float(loss.data)
+
+        return step
+
+    def float_step_fn(step):
+        for _ in range(cfg["steps_per_call"]):
+            step()
+
+    images_per_call = float(cfg["batch"] * cfg["steps_per_call"])
+    return [
+        BenchCase("csq_resnet20_train_step", csq_step_setup, csq_step_fn,
+                  images_per_call, "image"),
+        BenchCase("float_resnet20_train_step", float_step_setup, float_step_fn,
+                  images_per_call, "image"),
+    ]

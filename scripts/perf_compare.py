@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Base-vs-candidate comparison of two perf-results JSON files.
+
+Prints a markdown table of per-case timings with the speedup of candidate
+over base, and (with ``--fail-threshold``) exits non-zero when any case
+regressed by more than the given factor — the gate ``scripts/perf_smoke.sh``
+uses against the committed ``BENCH_perf.json`` baseline.
+
+Usage::
+
+    python scripts/perf_compare.py BENCH_perf.json candidate.json
+    python scripts/perf_compare.py base.json cand.json --fail-threshold 1.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, Tuple
+
+
+def load_results(path: str) -> Tuple[str, Dict[Tuple[str, str], dict]]:
+    with open(path) as handle:
+        document = json.load(handle)
+    by_case = {(r["suite"], r["name"]): r for r in document["results"]}
+    return document.get("label", path), by_case
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="Compare two perf result files")
+    parser.add_argument("base", help="Baseline results JSON (e.g. committed BENCH_perf.json)")
+    parser.add_argument("candidate", help="Candidate results JSON")
+    parser.add_argument(
+        "--fail-threshold", type=float, default=None,
+        help="Exit 1 when any shared case's candidate mean is more than this "
+             "factor slower than base (e.g. 1.5)",
+    )
+    parser.add_argument(
+        "--noise-threshold", type=float, default=0.05,
+        help="Relative change below which a case is reported as '~' (default 0.05)",
+    )
+    args = parser.parse_args(argv)
+
+    base_label, base = load_results(args.base)
+    cand_label, cand = load_results(args.candidate)
+    shared = sorted(set(base) & set(cand))
+    if not shared:
+        print("No shared cases between the two result files", file=sys.stderr)
+        return 2
+
+    print(f"| suite/case | {base_label} mean | {cand_label} mean | speedup | verdict |")
+    print("|---|---:|---:|---:|:--|")
+    regressions = []
+    for key in shared:
+        b, c = base[key], cand[key]
+        speedup = b["mean_s"] / c["mean_s"] if c["mean_s"] > 0 else float("inf")
+        rel_change = abs(speedup - 1.0)
+        if rel_change <= args.noise_threshold:
+            verdict = "~ unchanged"
+        elif speedup >= 1.0:
+            verdict = "faster"
+        else:
+            verdict = "slower"
+            if args.fail_threshold is not None and 1.0 / speedup > args.fail_threshold:
+                regressions.append((key, 1.0 / speedup))
+                verdict = "REGRESSION"
+        print(
+            f"| {key[0]}/{key[1]} | {b['mean_s'] * 1e3:.3f} ms "
+            f"| {c['mean_s'] * 1e3:.3f} ms | {speedup:.2f}x | {verdict} |"
+        )
+
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+    for key in only_base:
+        print(f"| {key[0]}/{key[1]} | {base[key]['mean_s'] * 1e3:.3f} ms | — | — | base only |")
+    for key in only_cand:
+        print(f"| {key[0]}/{key[1]} | — | {cand[key]['mean_s'] * 1e3:.3f} ms | — | candidate only |")
+
+    if regressions:
+        print(file=sys.stderr)
+        for (suite, name), factor in regressions:
+            print(
+                f"REGRESSION: {suite}/{name} is {factor:.2f}x slower than baseline "
+                f"(threshold {args.fail_threshold:.2f}x)",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Perf smoke gate: run the op-level microbenches at tiny scale and fail when
+# any case is >1.5x slower than the committed BENCH_perf.json baseline.
+#
+# Committed baselines are wall-clock numbers from one machine: on very
+# different or heavily loaded hardware, regenerate the baseline locally (or
+# raise PERF_SMOKE_THRESHOLD) rather than trusting the absolute gate; for a
+# hardware-independent comparison use the PYTHONPATH-swap base-vs-candidate
+# flow in PERFORMANCE.md.
+#
+# The committed baseline stores both quick- and tiny-scale sections; this
+# script compares against the tiny section (BENCH_perf_tiny.json alongside
+# the quick-scale BENCH_perf.json).  Refresh baselines after intentional
+# perf changes with:
+#   PYTHONPATH=src python -m benchmarks.perf.run --suite all --label baseline
+#   PYTHONPATH=src python -m benchmarks.perf.run --suite ops --suite csq \
+#       --scale tiny --label baseline-tiny --output BENCH_perf_tiny.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="BENCH_perf_tiny.json"
+THRESHOLD="${PERF_SMOKE_THRESHOLD:-1.5}"
+CANDIDATE="$(mktemp /tmp/perf_smoke.XXXXXX.json)"
+trap 'rm -f "$CANDIDATE"' EXIT
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "Missing $BASELINE — run the baseline refresh commands in this script's header" >&2
+    exit 2
+fi
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m benchmarks.perf.run \
+    --suite ops --suite csq --scale tiny --warmup 2 --iters 7 \
+    --label smoke --output "$CANDIDATE"
+
+python scripts/perf_compare.py "$BASELINE" "$CANDIDATE" --fail-threshold "$THRESHOLD"

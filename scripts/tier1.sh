@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 fast path: the full unit test suite (no paper-reproduction benches).
+# The benches live in benchmarks/ and are run separately because they train
+# models; this script is what CI and pre-commit hooks should gate on.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+exec python -m pytest tests -q "$@"

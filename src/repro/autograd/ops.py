@@ -17,6 +17,8 @@ The operations cover what the reproduction needs:
 
 from __future__ import annotations
 
+import threading
+from functools import lru_cache
 from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -218,15 +220,17 @@ def leaky_relu(x: ArrayLike, negative_slope: float = 0.01) -> Tensor:
     return Tensor._from_op(out, (x,), backward, "leaky_relu")
 
 
+def _stable_sigmoid(z: np.ndarray) -> np.ndarray:
+    """Branch-free numerically stable logistic sigmoid on a NumPy array."""
+    e = np.exp(-np.abs(z))
+    t = 1.0 / (1.0 + e)
+    return np.where(z >= 0, t, e * t)
+
+
 def sigmoid(x: ArrayLike) -> Tensor:
     """Numerically stable logistic sigmoid."""
     x = ensure_tensor(x)
-    data = x.data
-    out = np.empty_like(data)
-    positive = data >= 0
-    out[positive] = 1.0 / (1.0 + np.exp(-data[positive]))
-    exp_x = np.exp(data[~positive])
-    out[~positive] = exp_x / (1.0 + exp_x)
+    out = _stable_sigmoid(x.data)
 
     def backward(grad: np.ndarray):
         return (grad * out * (1.0 - out),)
@@ -282,7 +286,9 @@ def sum(x: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A00
             for a in axis_n:
                 shape[a] = 1
             g = g.reshape(shape)
-        return (np.broadcast_to(g, x.shape).copy(),)
+        # Read-only broadcast view: backward consumers never mutate grads
+        # in place, so materializing the full array here is wasted work.
+        return (np.broadcast_to(g, x.shape),)
 
     return Tensor._from_op(np.asarray(out), (x,), backward, "sum")
 
@@ -303,7 +309,7 @@ def mean(x: ArrayLike, axis=None, keepdims: bool = False) -> Tensor:
             for a in axis_n:
                 shape[a] = 1
             g = g.reshape(shape)
-        return (np.broadcast_to(g, x.shape).copy(),)
+        return (np.broadcast_to(g, x.shape),)
 
     return Tensor._from_op(np.asarray(out), (x,), backward, "mean")
 
@@ -496,37 +502,89 @@ def softmax(x: ArrayLike, axis: int = -1) -> Tensor:
 # ---------------------------------------------------------------------------
 # Convolution / pooling (im2col)
 # ---------------------------------------------------------------------------
+#
+# The forward gather is a zero-copy ``as_strided`` view over the padded
+# input: the only data movement is the single reshape into GEMM layout.
+# The backward scatter (``col2im``) loops over the kernel_h * kernel_w
+# offsets and accumulates strided slices — each iteration is one vectorized
+# add over the whole batch, which beats ``np.add.at`` fancy-index
+# scatter by an order of magnitude for typical 3x3 kernels.
+#
+# Column convention: rows are ``(channel, kh, kw)`` (row-major), columns are
+# ``(batch, out_h, out_w)`` (row-major).
 
 
-def _im2col_indices(
-    x_shape: Tuple[int, int, int, int],
-    kernel_h: int,
-    kernel_w: int,
-    stride: int,
-    padding: int,
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
-    batch, channels, height, width = x_shape
-    out_h = (height + 2 * padding - kernel_h) // stride + 1
-    out_w = (width + 2 * padding - kernel_w) // stride + 1
+class _ScratchBuffers(threading.local):
+    """Per-thread reusable padding buffers, keyed by (shape, dtype)."""
 
-    i0 = np.repeat(np.arange(kernel_h), kernel_w)
-    i0 = np.tile(i0, channels)
-    i1 = stride * np.repeat(np.arange(out_h), out_w)
-    j0 = np.tile(np.arange(kernel_w), kernel_h * channels)
-    j1 = stride * np.tile(np.arange(out_w), out_h)
-    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
-    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
-    k = np.repeat(np.arange(channels), kernel_h * kernel_w).reshape(-1, 1)
-    return k, i, j, out_h, out_w
+    def __init__(self) -> None:
+        self.buffers: dict = {}
+
+
+_scratch = _ScratchBuffers()
+
+
+def _padded_scratch(shape: Tuple[int, ...], dtype) -> np.ndarray:
+    key = (shape, np.dtype(dtype).str)
+    buf = _scratch.buffers.pop(key, None)
+    if buf is None:
+        buf = np.empty(shape, dtype=dtype)
+        if len(_scratch.buffers) > 64:  # LRU-evict the coldest shape
+            _scratch.buffers.pop(next(iter(_scratch.buffers)))
+    # Re-insert at the back so dict order tracks recency of use.
+    _scratch.buffers[key] = buf
+    return buf
+
+
+def _pad_nchw(x: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the spatial dims into a reusable scratch buffer.
+
+    The returned array is only valid until the next ``_pad_nchw`` call with
+    the same shape/dtype; callers must copy anything they keep (``im2col``'s
+    reshape into GEMM layout is that copy).
+    """
+    if padding == 0:
+        return x
+    batch, channels, height, width = x.shape
+    buf = _padded_scratch(
+        (batch, channels, height + 2 * padding, width + 2 * padding), x.dtype
+    )
+    buf[:, :, :padding, :] = 0.0
+    buf[:, :, -padding:, :] = 0.0
+    buf[:, :, padding:-padding, :padding] = 0.0
+    buf[:, :, padding:-padding, -padding:] = 0.0
+    buf[:, :, padding:padding + height, padding:padding + width] = x
+    return buf
+
+
+def _patch_view(padded: np.ndarray, kernel_h: int, kernel_w: int, stride: int) -> np.ndarray:
+    """Read-only ``(C, kh, kw, N, out_h, out_w)`` window view of a padded batch."""
+    batch, channels, height, width = padded.shape
+    out_h = (height - kernel_h) // stride + 1
+    out_w = (width - kernel_w) // stride + 1
+    sn, sc, sh, sw = padded.strides
+    return np.lib.stride_tricks.as_strided(
+        padded,
+        shape=(channels, kernel_h, kernel_w, batch, out_h, out_w),
+        strides=(sc, sh, sw, sn, stride * sh, stride * sw),
+        writeable=False,
+    )
 
 
 def im2col(x: np.ndarray, kernel_h: int, kernel_w: int, stride: int, padding: int) -> np.ndarray:
-    """Rearrange NCHW image patches into columns of shape (C*kh*kw, N*out_h*out_w)."""
-    padded = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
-    k, i, j, _, _ = _im2col_indices(x.shape, kernel_h, kernel_w, stride, padding)
-    cols = padded[:, k, i, j]
+    """Rearrange NCHW image patches into columns of shape (C*kh*kw, N*out_h*out_w).
+
+    Columns are ordered ``(batch, out_h, out_w)`` row-major.  Always returns
+    an owned array: callers stash the result for the backward pass, so it
+    must not alias the reusable padding scratch buffer (or the input, for
+    degenerate 1x1 geometries where the patch view is already flat).
+    """
+    padded = _pad_nchw(x, padding)
+    view = _patch_view(padded, kernel_h, kernel_w, stride)
     channels = x.shape[1]
-    cols = cols.transpose(1, 2, 0).reshape(kernel_h * kernel_w * channels, -1)
+    cols = view.reshape(channels * kernel_h * kernel_w, -1)
+    if cols.base is not None:
+        cols = cols.copy()
     return cols
 
 
@@ -540,16 +598,20 @@ def col2im(
 ) -> np.ndarray:
     """Inverse of :func:`im2col`: scatter-add column values back into images."""
     batch, channels, height, width = x_shape
-    padded = np.zeros(
-        (batch, channels, height + 2 * padding, width + 2 * padding), dtype=cols.dtype
-    )
-    k, i, j, _, _ = _im2col_indices(x_shape, kernel_h, kernel_w, stride, padding)
-    cols_reshaped = cols.reshape(channels * kernel_h * kernel_w, -1, batch)
-    cols_reshaped = cols_reshaped.transpose(2, 0, 1)
-    np.add.at(padded, (slice(None), k, i, j), cols_reshaped)
-    if padding == 0:
-        return padded
-    return padded[:, :, padding:-padding, padding:-padding]
+    pad_h, pad_w = height + 2 * padding, width + 2 * padding
+    out_h = (pad_h - kernel_h) // stride + 1
+    out_w = (pad_w - kernel_w) // stride + 1
+    cols6 = cols.reshape(channels, kernel_h, kernel_w, batch, out_h, out_w)
+    # Channel-leading layout so each kernel-offset slice add is contiguous
+    # in the same order as ``cols6``; transposed back to NCHW at the end.
+    padded = np.zeros((channels, batch, pad_h, pad_w), dtype=cols.dtype)
+    for di in range(kernel_h):
+        row_slice = slice(di, di + stride * out_h, stride)
+        for dj in range(kernel_w):
+            padded[:, :, row_slice, dj:dj + stride * out_w:stride] += cols6[:, di, dj]
+    if padding:
+        padded = padded[:, :, padding:padding + height, padding:padding + width]
+    return padded.transpose(1, 0, 2, 3)
 
 
 def conv2d(
@@ -588,14 +650,14 @@ def conv2d(
     cols = im2col(x.data, kernel_h, kernel_w, stride, padding)
     w_mat = weight.data.reshape(out_channels, -1)
     out = w_mat @ cols
-    out = out.reshape(out_channels, out_h, out_w, batch).transpose(3, 0, 1, 2)
+    out = out.reshape(out_channels, batch, out_h, out_w).transpose(1, 0, 2, 3)
     if bias_t is not None:
         out = out + bias_t.data.reshape(1, out_channels, 1, 1)
 
     parents = (x, weight) if bias_t is None else (x, weight, bias_t)
 
     def backward(grad: np.ndarray):
-        grad_flat = grad.transpose(1, 2, 3, 0).reshape(out_channels, -1)
+        grad_flat = grad.transpose(1, 0, 2, 3).reshape(out_channels, -1)
         grad_weight = (grad_flat @ cols.T).reshape(weight.shape)
         grad_cols = w_mat.T @ grad_flat
         grad_x = col2im(grad_cols, x.shape, kernel_h, kernel_w, stride, padding)
@@ -619,14 +681,11 @@ def max_pool2d(x: ArrayLike, kernel_size: int, stride: Optional[int] = None) -> 
     cols = im2col(reshaped, kernel_size, kernel_size, stride, 0)
     argmax = cols.argmax(axis=0)
     out = cols[argmax, np.arange(cols.shape[1])]
-    out = out.reshape(out_h, out_w, batch * channels).transpose(2, 0, 1)
     out = out.reshape(batch, channels, out_h, out_w)
 
     def backward(grad: np.ndarray):
-        grad_flat = grad.reshape(batch * channels, out_h, out_w)
-        grad_flat = grad_flat.transpose(1, 2, 0).reshape(-1)
         grad_cols = np.zeros_like(cols)
-        grad_cols[argmax, np.arange(cols.shape[1])] = grad_flat
+        grad_cols[argmax, np.arange(cols.shape[1])] = grad.reshape(-1)
         grad_x = col2im(
             grad_cols, (batch * channels, 1, height, width), kernel_size, kernel_size, stride, 0
         )
@@ -646,20 +705,213 @@ def avg_pool2d(x: ArrayLike, kernel_size: int, stride: Optional[int] = None) -> 
     reshaped = x.data.reshape(batch * channels, 1, height, width)
     cols = im2col(reshaped, kernel_size, kernel_size, stride, 0)
     out = cols.mean(axis=0)
-    out = out.reshape(out_h, out_w, batch * channels).transpose(2, 0, 1)
     out = out.reshape(batch, channels, out_h, out_w)
     window = kernel_size * kernel_size
 
     def backward(grad: np.ndarray):
-        grad_flat = grad.reshape(batch * channels, out_h, out_w)
-        grad_flat = grad_flat.transpose(1, 2, 0).reshape(-1)
-        grad_cols = np.repeat(grad_flat[None, :] / window, window, axis=0)
+        grad_flat = grad.reshape(-1) / window
+        grad_cols = np.broadcast_to(grad_flat, (window, grad_flat.size))
         grad_x = col2im(
             grad_cols, (batch * channels, 1, height, width), kernel_size, kernel_size, stride, 0
         )
         return (grad_x.reshape(x.shape),)
 
     return Tensor._from_op(out, (x,), backward, "avg_pool2d")
+
+
+# ---------------------------------------------------------------------------
+# Fused quantization / normalization kernels
+# ---------------------------------------------------------------------------
+
+
+def fake_quantize(x: ArrayLike, scale: float, levels: int, low: float, high: float) -> Tensor:
+    """Fused STE fake-quantization: ``round(clip(x/scale, low, high)*levels)/levels*scale``.
+
+    One kernel replacing the clip → div → mul → ste_round → div → mul chain:
+    the constant rescalings cancel in the backward pass, so the exact STE
+    gradient is ``grad`` masked to the clip range.
+    """
+    x = ensure_tensor(x)
+    normalized = np.clip(x.data * (1.0 / scale), low, high)
+    out = np.round(normalized * levels) * (scale / levels)
+
+    def backward(grad: np.ndarray):
+        mask = (x.data >= low * scale) & (x.data <= high * scale)
+        return (grad * mask,)
+
+    return Tensor._from_op(out.astype(x.dtype, copy=False), (x,), backward, "fake_quantize")
+
+
+def batch_norm(
+    x: ArrayLike,
+    weight: Optional[ArrayLike] = None,
+    bias: Optional[ArrayLike] = None,
+    axes: Tuple[int, ...] = (0,),
+    eps: float = 1e-5,
+    mean: Optional[np.ndarray] = None,
+    var: Optional[np.ndarray] = None,
+) -> Tuple[Tensor, np.ndarray, np.ndarray]:
+    """Fused batch normalization with a hand-written backward.
+
+    When ``mean``/``var`` are ``None`` (training mode) the batch statistics
+    are computed here and the backward differentiates through them (the
+    classic BN gradient); otherwise the provided running statistics are
+    treated as constants (eval mode).
+
+    Returns ``(out, mean, var)`` where ``mean``/``var`` are the (biased,
+    keepdims) statistics actually used — callers update running estimates
+    from them without recomputation.
+    """
+    x = ensure_tensor(x)
+    if (weight is None) != (bias is None):
+        raise ValueError("batch_norm requires weight and bias together (or neither)")
+    weight_t = ensure_tensor(weight) if weight is not None else None
+    bias_t = ensure_tensor(bias) if bias is not None else None
+
+    use_batch_stats = mean is None
+    if use_batch_stats:
+        mu = x.data.mean(axis=axes, keepdims=True)
+        centered = x.data - mu
+        variance = np.mean(centered * centered, axis=axes, keepdims=True)
+    else:
+        mu = np.asarray(mean, dtype=x.dtype)
+        variance = np.asarray(var, dtype=x.dtype)
+        centered = x.data - mu
+    inv_std = 1.0 / np.sqrt(variance + eps)
+    xhat = centered * inv_std
+
+    param_shape = tuple(1 if i in axes else x.shape[i] for i in range(x.ndim))
+    if weight_t is not None:
+        out = xhat * weight_t.data.reshape(param_shape) + bias_t.data.reshape(param_shape)
+        parents: Tuple[Tensor, ...] = (x, weight_t, bias_t)
+    else:
+        out = xhat
+        parents = (x,)
+    count = int(np.prod([x.shape[a] for a in axes]))
+
+    def backward(grad: np.ndarray):
+        if weight_t is not None:
+            grad_weight = (grad * xhat).sum(axis=axes).reshape(weight_t.shape)
+            grad_bias = grad.sum(axis=axes).reshape(bias_t.shape)
+            grad_xhat = grad * weight_t.data.reshape(param_shape)
+        else:
+            grad_xhat = grad
+        if use_batch_stats:
+            s1 = grad_xhat.sum(axis=axes, keepdims=True)
+            s2 = (grad_xhat * xhat).sum(axis=axes, keepdims=True)
+            grad_x = inv_std * (grad_xhat - s1 / count - xhat * (s2 / count))
+        else:
+            grad_x = grad_xhat * inv_std
+        if weight_t is not None:
+            return grad_x, grad_weight, grad_bias
+        return (grad_x,)
+
+    tensor = Tensor._from_op(out.astype(x.dtype, copy=False), parents, backward, "batch_norm")
+    return tensor, mu, variance
+
+
+# ---------------------------------------------------------------------------
+# Fused CSQ weight reconstruction (Eq. 5)
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=32)
+def _pow2_weights(num_bits: int) -> np.ndarray:
+    """Constant ``2**b`` bit-plane weights (LSB first), float32, read-only."""
+    pow2 = (2.0 ** np.arange(num_bits)).astype(np.float32)
+    pow2.flags.writeable = False
+    return pow2
+
+
+def csq_reconstruct(
+    m_p: ArrayLike,
+    m_n: ArrayLike,
+    scale: ArrayLike,
+    m_b: Optional[ArrayLike] = None,
+    beta: float = 1.0,
+    beta_mask: float = 1.0,
+    hard_values: bool = False,
+    hard_mask: bool = False,
+) -> Tensor:
+    """Fused Eq. (5) weight reconstruction of one CSQ layer.
+
+    Computes ``scale / (2**n - 1) * sum_b (f(m_p[b]) - f(m_n[b])) * 2**b *
+    f(m_B[b])`` in a single kernel: one stable sigmoid over each stacked
+    ``(num_bits, *weight_shape)`` gate tensor, one ``tensordot`` reduction
+    over the bit axis, and a hand-written backward — replacing the chain of
+    per-bit-plane autograd ops (sub/mul/mul/sum) the graph used to record.
+
+    Parameters
+    ----------
+    m_p, m_n:
+        Bit-representation parameters of shape ``(num_bits, *weight_shape)``.
+    scale:
+        Trainable scaling factor of shape ``(1,)``.
+    m_b:
+        Optional bit-mask parameters of shape ``(num_bits,)``; ``None`` means
+        the mask is fixed to all-ones (CSQ-Uniform mode).
+    beta, beta_mask:
+        Gate temperatures for the bit representations / bit masks.
+    hard_values, hard_mask:
+        Replace the corresponding sigmoid gates by exact unit steps.  Hard
+        gates are non-differentiable: the matching parameters receive no
+        gradient (their entry in the backward tuple is ``None``), exactly as
+        when the old chain routed them through a detached tensor.
+    """
+    m_p, m_n, scale = ensure_tensor(m_p), ensure_tensor(m_n), ensure_tensor(scale)
+    mask_t = ensure_tensor(m_b) if m_b is not None else None
+    num_bits = m_p.shape[0]
+    levels = float(2 ** num_bits - 1)
+    pow2 = _pow2_weights(num_bits)
+
+    if hard_values:
+        gate_p = (m_p.data >= 0.0).astype(np.float32)
+        gate_n = (m_n.data >= 0.0).astype(np.float32)
+    else:
+        gate_p = _stable_sigmoid(beta * m_p.data)
+        gate_n = _stable_sigmoid(beta * m_n.data)
+
+    if mask_t is None:
+        gate_b = None
+        coeff = pow2
+    elif hard_mask:
+        gate_b = None
+        coeff = pow2 * (mask_t.data >= 0.0).astype(np.float32)
+    else:
+        gate_b = _stable_sigmoid(beta_mask * mask_t.data)
+        coeff = pow2 * gate_b
+
+    diff = gate_p - gate_n
+    accumulated = np.tensordot(coeff, diff, axes=(0, 0))
+    scale_over_levels = scale.data / levels
+    out = accumulated * scale_over_levels
+
+    parents = (m_p, m_n, scale) if mask_t is None else (m_p, m_n, scale, mask_t)
+    bit_broadcast = (num_bits,) + (1,) * accumulated.ndim
+
+    def backward(grad: np.ndarray):
+        grad_acc = grad * scale_over_levels
+        grad_scale = np.array(
+            [np.dot(grad.reshape(-1), accumulated.reshape(-1)) / levels],
+            dtype=scale.dtype,
+        )
+        if hard_values:
+            grad_m_p = grad_m_n = None
+        else:
+            # d out / d diff[b] = grad_acc * coeff[b]; chain through the
+            # sigmoid Jacobian beta * g * (1 - g) per stacked gate.
+            grad_diff = coeff.reshape(bit_broadcast) * grad_acc[None]
+            grad_m_p = grad_diff * (beta * gate_p * (1.0 - gate_p))
+            grad_m_n = -grad_diff * (beta * gate_n * (1.0 - gate_n))
+        if mask_t is None:
+            return grad_m_p, grad_m_n, grad_scale
+        if gate_b is None:
+            return grad_m_p, grad_m_n, grad_scale, None
+        grad_coeff = diff.reshape(num_bits, -1) @ grad_acc.reshape(-1)
+        grad_m_b = (pow2 * grad_coeff) * (beta_mask * gate_b * (1.0 - gate_b))
+        return grad_m_p, grad_m_n, grad_scale, grad_m_b
+
+    return Tensor._from_op(out, parents, backward, "csq_reconstruct")
 
 
 def adaptive_avg_pool2d(x: ArrayLike, output_size: int = 1) -> Tensor:
@@ -671,6 +923,6 @@ def adaptive_avg_pool2d(x: ArrayLike, output_size: int = 1) -> Tensor:
     count = x.shape[2] * x.shape[3]
 
     def backward(grad: np.ndarray):
-        return (np.broadcast_to(grad / count, x.shape).copy(),)
+        return (np.broadcast_to(grad / count, x.shape),)
 
     return Tensor._from_op(out, (x,), backward, "adaptive_avg_pool2d")

@@ -240,6 +240,7 @@ class Tensor:
 
         order = self._topological_order()
         grads: dict[int, np.ndarray] = {id(self): grad}
+        adopted: set[int] = set()
 
         for node in order:
             node_grad = grads.pop(id(node), None)
@@ -247,7 +248,20 @@ class Tensor:
                 continue
             if node.requires_grad and (node._backward_fn is None or node._is_leaf()):
                 if node.grad is None:
-                    node.grad = node_grad.copy()
+                    # Adopt the array when we exclusively own it; views (e.g.
+                    # read-only broadcast grads from reductions) and arrays a
+                    # backward fn handed to several parents (add/sub return
+                    # the incoming grad for both when shapes match) must be
+                    # materialized so .grad buffers never alias.
+                    if (
+                        node_grad.base is None
+                        and node_grad.flags.writeable
+                        and id(node_grad) not in adopted
+                    ):
+                        node.grad = node_grad
+                        adopted.add(id(node_grad))
+                    else:
+                        node.grad = np.array(node_grad)
                 else:
                     node.grad = node.grad + node_grad
             if node._backward_fn is None:
@@ -267,7 +281,12 @@ class Tensor:
         return self._backward_fn is None
 
     def _topological_order(self) -> list:
-        """Return nodes reachable from ``self`` in reverse topological order."""
+        """Return nodes reachable from ``self`` in reverse topological order.
+
+        Iterative depth-first search; parents that do not require grad are
+        pruned — they receive no gradient and have no backward function, so
+        visiting them (and anything behind them) is wasted work.
+        """
         visited: set[int] = set()
         order: list[Tensor] = []
         stack: list[tuple[Tensor, bool]] = [(self, False)]
@@ -281,7 +300,7 @@ class Tensor:
             visited.add(id(node))
             stack.append((node, True))
             for parent in node._parents:
-                if id(parent) not in visited:
+                if parent.requires_grad and id(parent) not in visited:
                     stack.append((parent, False))
         order.reverse()
         return order

@@ -126,6 +126,24 @@ class BitParameterization:
         returns the exactly quantized weight (as a graph tensor whose only
         trainable dependency is the scale ``s``).
         """
+        return ops.csq_reconstruct(
+            self.m_p,
+            self.m_n,
+            self.scale,
+            m_b=self.m_b if self.trainable_mask else None,
+            beta=state.beta,
+            beta_mask=state.beta_mask,
+            hard_values=state.hard_values,
+            hard_mask=state.hard_mask,
+        )
+
+    def relaxed_weight_reference(self, state: GateState) -> Tensor:
+        """Unfused per-bit-plane op chain for Eq. (5).
+
+        Numerically-equivalent reference for :func:`ops.csq_reconstruct`
+        (kept for the equivalence tests and as readable documentation of the
+        math the fused kernel implements).
+        """
         gate_p = self._gate(self.m_p, state.beta, state.hard_values)
         gate_n = self._gate(self.m_n, state.beta, state.hard_values)
         diff = ops.sub(gate_p, gate_n)

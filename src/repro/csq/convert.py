@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Iterable, Optional, Set, Tuple
 
 from repro import nn
+from repro.autograd import no_grad
 from repro.csq.gates import GateState
 from repro.csq.layers import CSQConv2d, CSQLinear, _CSQLayerBase
 from repro.csq.precision import csq_layers
@@ -125,7 +126,18 @@ def materialize_quantized(model: Module) -> Module:
     CSQ weights, so it can be evaluated or exported without any CSQ machinery.
     Activation quantizers are dropped (they model inference-time hardware and
     are re-applied by the deployment flow).
+
+    Weight extraction runs under ``no_grad()``.  Today ``frozen_weight`` is
+    pure NumPy and records nothing; the guard pins the contract that
+    materialization never builds a graph even if the frozen-weight math is
+    later expressed with tensor ops.  (The replacement layers themselves are
+    constructed outside the guard so their parameters keep
+    ``requires_grad=True`` and the materialized model stays finetunable.)
     """
+
+    def _frozen_weight(child: _CSQLayerBase):
+        with no_grad():
+            return child.bitparam.frozen_weight()
 
     def _materialize_children(module: Module) -> None:
         for child_name, child in list(module._modules.items()):
@@ -138,13 +150,13 @@ def materialize_quantized(model: Module) -> Module:
                     padding=child.padding,
                     bias=child.bias is not None,
                 )
-                conv.weight.data = child.bitparam.frozen_weight()
+                conv.weight.data = _frozen_weight(child)
                 if child.bias is not None:
                     conv.bias.data = child.bias.data.copy()
                 module.add_module(child_name, conv)
             elif isinstance(child, CSQLinear):
                 linear = nn.Linear(child.in_features, child.out_features, bias=child.bias is not None)
-                linear.weight.data = child.bitparam.frozen_weight()
+                linear.weight.data = _frozen_weight(child)
                 if child.bias is not None:
                     linear.bias.data = child.bias.data.copy()
                 module.add_module(child_name, linear)

@@ -46,33 +46,32 @@ class _BatchNorm(Module):
         axes = self._reduce_axes(x)
         shape = self._param_shape(x)
         if self.training:
-            batch_mean = ops.mean(x, axis=axes, keepdims=True)
-            centered = ops.sub(x, batch_mean)
-            batch_var = ops.mean(ops.mul(centered, centered), axis=axes, keepdims=True)
+            out, batch_mean, batch_var = ops.batch_norm(
+                x, self.weight, self.bias, axes=axes, eps=self.eps
+            )
             # Update running statistics outside the graph.
             count = x.size / self.num_features
-            unbiased = batch_var.data * count / max(count - 1.0, 1.0)
+            unbiased = batch_var * count / max(count - 1.0, 1.0)
             self.running_mean.data = (
                 (1.0 - self.momentum) * self.running_mean.data
-                + self.momentum * batch_mean.data.reshape(-1)
+                + self.momentum * batch_mean.reshape(-1)
             )
             self.running_var.data = (
                 (1.0 - self.momentum) * self.running_var.data
                 + self.momentum * unbiased.reshape(-1)
             )
             self.num_batches_tracked.data = self.num_batches_tracked.data + 1
-            inv_std = ops.pow(ops.add(batch_var, self.eps), -0.5)
-            normalized = ops.mul(centered, inv_std)
-        else:
-            mean = Tensor(self.running_mean.data.reshape(shape))
-            var = Tensor(self.running_var.data.reshape(shape))
-            inv_std = ops.pow(ops.add(var, self.eps), -0.5)
-            normalized = ops.mul(ops.sub(x, mean), inv_std)
-        if self.affine:
-            weight = ops.reshape(self.weight, shape)
-            bias = ops.reshape(self.bias, shape)
-            return ops.add(ops.mul(normalized, weight), bias)
-        return normalized
+            return out
+        out, _, _ = ops.batch_norm(
+            x,
+            self.weight,
+            self.bias,
+            axes=axes,
+            eps=self.eps,
+            mean=self.running_mean.data.reshape(shape),
+            var=self.running_var.data.reshape(shape),
+        )
+        return out
 
     def extra_repr(self) -> str:
         return f"{self.num_features}, eps={self.eps}, momentum={self.momentum}, affine={self.affine}"

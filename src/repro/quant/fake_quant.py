@@ -13,7 +13,6 @@ import numpy as np
 from repro import nn
 from repro.autograd import ops
 from repro.autograd.tensor import Tensor
-from repro.quant.ste import ste_round
 from repro.quant.observers import MovingAverageMinMaxObserver
 
 
@@ -38,9 +37,7 @@ class WeightFakeQuantize(nn.Module):
         scale = float(np.max(np.abs(weight.data)))
         if scale == 0.0:
             return weight
-        normalized = ops.clip(ops.div(weight, scale), -1.0, 1.0)
-        quantized = ops.div(ste_round(ops.mul(normalized, float(levels))), float(levels))
-        return ops.mul(quantized, scale)
+        return ops.fake_quantize(weight, scale, levels, -1.0, 1.0)
 
     def extra_repr(self) -> str:
         return f"bits={self.bits}"
@@ -69,10 +66,7 @@ class FakeQuantize(nn.Module):
         _, upper = self.observer.range()
         upper = max(upper, 1e-5)
         levels = 2 ** self.bits - 1
-        clipped = ops.clip(x, 0.0, upper)
-        normalized = ops.div(clipped, upper)
-        quantized = ops.div(ste_round(ops.mul(normalized, float(levels))), float(levels))
-        return ops.mul(quantized, upper)
+        return ops.fake_quantize(x, upper, levels, 0.0, 1.0)
 
     def extra_repr(self) -> str:
         return f"bits={self.bits}"

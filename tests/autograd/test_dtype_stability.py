@@ -1,0 +1,106 @@
+"""Regression tests that the float32 pipeline never silently upcasts.
+
+NumPy promotes to float64 easily (python-scalar ops under legacy promotion,
+``np.bincount`` weights, ``mean`` of odd dtypes, default ``np.arange``), and a
+single upcast in a hot op doubles memory traffic for every downstream op.
+These tests pin float32 end-to-end through a full conv-net forward/backward
+and through each rewritten kernel.
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.csq.bitparam import BitParameterization
+from repro.csq.gates import GateState
+from repro.models import create_model
+from repro.nn import functional as F
+
+
+def _walk_graph(root: Tensor):
+    seen, stack = set(), [root]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        yield node
+        stack.extend(node._parents)
+
+
+class TestFloat32EndToEnd:
+    def test_convnet_forward_backward_stays_float32(self):
+        model = create_model("resnet20", num_classes=10, width_mult=0.2)
+        x = np.random.default_rng(0).standard_normal((4, 3, 12, 12)).astype(np.float32)
+        labels = np.array([0, 1, 2, 3])
+        logits = model(Tensor(x))
+        loss = F.cross_entropy(logits, labels)
+        # Every node of the recorded graph is float32...
+        for node in _walk_graph(loss):
+            assert node.dtype == np.float32, f"{node._op} produced {node.dtype}"
+        loss.backward()
+        # ...and so is every parameter gradient.
+        for name, param in model.named_parameters():
+            assert param.grad is not None, name
+            assert param.grad.dtype == np.float32, f"{name} grad is {param.grad.dtype}"
+
+    def test_csq_reconstruct_stays_float32(self):
+        bp = BitParameterization(
+            np.random.default_rng(1).standard_normal((4, 3, 3, 3)).astype(np.float32)
+        )
+        for state in (GateState(beta=3.0), GateState(hard_values=True, hard_mask=True)):
+            weight = bp.relaxed_weight(state)
+            assert weight.dtype == np.float32
+            for p in bp.all_parameters():
+                p.zero_grad()
+            weight.sum().backward()
+            for p in bp.all_parameters():
+                if p.grad is not None:
+                    assert p.grad.dtype == np.float32
+
+    def test_conv_and_pool_kernels_stay_float32(self):
+        x = Tensor(
+            np.random.default_rng(2).standard_normal((2, 3, 8, 8)).astype(np.float32),
+            requires_grad=True,
+        )
+        w = Tensor(
+            np.random.default_rng(3).standard_normal((4, 3, 3, 3)).astype(np.float32),
+            requires_grad=True,
+        )
+        out = ops.conv2d(x, w, stride=1, padding=1)
+        assert out.dtype == np.float32
+        pooled = ops.max_pool2d(out, 2, 2)
+        assert pooled.dtype == np.float32
+        avg = ops.avg_pool2d(out, 2, 2)
+        assert avg.dtype == np.float32
+        (pooled.sum() + avg.sum()).backward()
+        assert x.grad.dtype == np.float32
+        assert w.grad.dtype == np.float32
+
+    def test_batch_norm_train_and_eval_stay_float32(self):
+        bn = nn.BatchNorm2d(3)
+        x = Tensor(
+            np.random.default_rng(4).standard_normal((4, 3, 5, 5)).astype(np.float32),
+            requires_grad=True,
+        )
+        bn.train()
+        out = bn(x)
+        assert out.dtype == np.float32
+        assert bn.running_mean.data.dtype == np.float32
+        assert bn.running_var.data.dtype == np.float32
+        out.sum().backward()
+        assert x.grad.dtype == np.float32
+        assert bn.weight.grad.dtype == np.float32
+        bn.eval()
+        assert bn(x).dtype == np.float32
+
+    def test_fake_quantize_stays_float32(self):
+        x = Tensor(
+            np.random.default_rng(5).standard_normal((4, 8)).astype(np.float32) + 0.5,
+            requires_grad=True,
+        )
+        out = ops.fake_quantize(x, 1.2, 7, 0.0, 1.0)
+        assert out.dtype == np.float32
+        out.sum().backward()
+        assert x.grad.dtype == np.float32
