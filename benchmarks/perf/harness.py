@@ -32,6 +32,10 @@ class BenchCase:
     #: Units of work per call (e.g. images per train step) for throughput.
     work_per_call: float = 1.0
     work_unit: str = "call"
+    #: Optional cleanup called with the state after timing (cases that start
+    #: worker threads — e.g. a serving engine — must stop them so leaked
+    #: pollers do not add jitter to later cases).
+    teardown: Optional[Callable[[object], None]] = None
 
 
 @dataclass
@@ -65,13 +69,17 @@ class BenchResult:
 def time_case(suite: str, case: BenchCase, warmup: int, iters: int) -> BenchResult:
     """Time one case: ``warmup`` unrecorded calls, then ``iters`` recorded ones."""
     state = case.setup()
-    for _ in range(warmup):
-        case.fn(state)
-    samples: List[float] = []
-    for _ in range(iters):
-        start = time.perf_counter()
-        case.fn(state)
-        samples.append(time.perf_counter() - start)
+    try:
+        for _ in range(warmup):
+            case.fn(state)
+        samples: List[float] = []
+        for _ in range(iters):
+            start = time.perf_counter()
+            case.fn(state)
+            samples.append(time.perf_counter() - start)
+    finally:
+        if case.teardown is not None:
+            case.teardown(state)
     mean = statistics.fmean(samples)
     return BenchResult(
         suite=suite,
@@ -111,7 +119,7 @@ def run_suites(
 ) -> Dict[str, object]:
     """Run the named suites and return the JSON-serializable results document."""
     # Import for side effects: suite registration.
-    from benchmarks.perf import ops_bench, train_bench  # noqa: F401
+    from benchmarks.perf import ops_bench, serve_bench, train_bench  # noqa: F401
 
     unknown = [n for n in names if n != "all" and n not in SUITES]
     if unknown:

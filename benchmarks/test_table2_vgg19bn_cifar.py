@@ -23,7 +23,18 @@ DATASET = "cifar32"
 
 @pytest.mark.benchmark(group="table2")
 def test_table2_vgg19bn_cifar(benchmark):
-    epochs = max(bench_scale().epochs - 2, 3)
+    # Schedule rationale: at the seed's ``scale.epochs - 2 = 4`` epochs the
+    # exponential temperature schedule reaches beta_max in 4 jumps, so the
+    # 16 conv masks of VGG19BN saturate before the budget-aware dS correction
+    # can grow over-pruned bits back — the scheme collapsed to ~0.9 avg bits
+    # and every CSQ row sat at chance (~10-12%).  Doubling the quick schedule
+    # (12 epochs) gives the masks enough low-beta epochs to settle: measured
+    # CSQ-T2 converges to ~2.4 avg bits / ~13x compression at 37% accuracy.
+    # (Single measured points at 2x the train-step cost of PR 1's speedup;
+    # see ROADMAP open items for the retune history.)  The floor applies the
+    # retune to quick scale only — full scale keeps its previous 18-epoch
+    # schedule, which never exhibited the collapse.
+    epochs = max(bench_scale().epochs - 2, 12)
 
     def build_table():
         results = [fp_result("vgg19_bn", DATASET)]
@@ -45,6 +56,11 @@ def test_table2_vgg19bn_cifar(benchmark):
     assert csq_t2.compression > 11.0
     # CSQ-T2 compresses more than the uniform 3-bit baseline (10.67x).
     assert csq_t2.compression > lqnets_row.compression
-    # Accuracy stays above chance (0.10) for every row; low-activation-bit
-    # rows degrade at the short CPU schedule (see EXPERIMENTS.md).
+    # Tolerance rationale: the paper's qualitative claim is that CSQ-T2 stays
+    # close to FP at ~16x compression.  At quick scale the A32 CSQ row trains
+    # far above the 10% chance floor (measured 37%, asserted >0.25 to leave
+    # margin for schedule jitter), while the A3/A4 rows quantize activations
+    # from epoch 0 and at 12 CPU epochs only clear chance — they get a
+    # weaker above-chance floor (>0.12) rather than a closeness claim.
+    assert csq_t2.accuracy > 0.25
     assert all(r.accuracy > 0.12 for r in results)

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Serve smoke test: artifact → session → server round trip in seconds.
+
+Run by ``scripts/tier1.sh`` after the unit suite.  No training: a frozen
+mixed-precision resnet20 (deterministic masks) is exported, reloaded,
+executed by the :class:`InferenceSession`, and served through the threaded
+:class:`Server`; served logits must match both the session and the
+materialized float model's eval path.  Exits non-zero on any mismatch.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.autograd.tensor import Tensor, no_grad  # noqa: E402
+from repro.csq.convert import materialize_quantized  # noqa: E402
+from repro.deploy import InferenceSession, Server, load_artifact, save_artifact  # noqa: E402
+from repro.deploy.testing import frozen_mixed_model  # noqa: E402
+from repro.utils import seed_everything  # noqa: E402
+
+
+def main() -> int:
+    seed_everything(0)
+    kwargs = {"num_classes": 10, "width_mult": 0.2}
+    model = frozen_mixed_model(
+        "resnet20", precisions=(2, 3, 4, 5), randomize_bn=False, **kwargs
+    )
+
+    with tempfile.TemporaryDirectory(prefix="repro_serve_smoke_") as tmp:
+        path = os.path.join(tmp, "resnet20.npz")
+        save_artifact(model, path, arch="resnet20", arch_kwargs=kwargs)
+        session = InferenceSession(load_artifact(path))
+
+        rng = np.random.default_rng(0)
+        images = rng.standard_normal((8, 3, 12, 12)).astype(np.float32)
+        session_logits = session.run(images)
+
+        float_model = materialize_quantized(model)
+        float_model.eval()
+        with no_grad():
+            eval_logits = float_model(Tensor(images)).data
+        err = float(np.abs(session_logits - eval_logits).max())
+        if err > 1e-5:
+            print(f"serve smoke FAILED: session vs eval-stack logits differ by {err:.2e}")
+            return 1
+
+        with Server(session, max_batch=8, max_wait_ms=1.0, cache_size=16) as server:
+            served = np.stack(server.predict_many(list(images)))
+            stats = server.stats.snapshot()
+        err = float(np.abs(served - session_logits).max())
+        if err > 1e-6:
+            print(f"serve smoke FAILED: served logits differ from session by {err:.2e}")
+            return 1
+        if stats["served"] < len(images):
+            print(f"serve smoke FAILED: server answered {stats['served']} of {len(images)}")
+            return 1
+
+    print(
+        f"serve smoke OK: parity {err:.1e}, "
+        f"{int(stats['served'])} requests in {int(stats['batches'])} batches "
+        f"(mean batch {stats['mean_batch_size']:.1f})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

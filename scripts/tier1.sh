@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
-# Tier-1 fast path: the full unit test suite (no paper-reproduction benches).
-# The benches live in benchmarks/ and are run separately because they train
-# models; this script is what CI and pre-commit hooks should gate on.
+# Tier-1 fast path: the full unit test suite (no paper-reproduction benches)
+# plus the deployment serve smoke.  The benches live in benchmarks/ and are
+# run separately because they train models; this script is what CI and
+# pre-commit hooks should gate on.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
-exec python -m pytest tests -q "$@"
+python -m pytest tests -q "$@"
+
+# Serve smoke: artifact -> session -> server round trip (seconds, no training).
+python scripts/serve_smoke.py

@@ -29,7 +29,13 @@ from repro.csq.precision import (
     model_scheme,
     csq_layers,
 )
-from repro.csq.convert import convert_to_csq, freeze_model, materialize_quantized
+from repro.csq.convert import (
+    QuantizedLayerExport,
+    convert_to_csq,
+    export_quantized_layers,
+    freeze_model,
+    materialize_quantized,
+)
 from repro.csq.trainer import CSQConfig, CSQTrainer
 
 __all__ = [
@@ -46,6 +52,8 @@ __all__ = [
     "model_scheme",
     "csq_layers",
     "convert_to_csq",
+    "export_quantized_layers",
+    "QuantizedLayerExport",
     "freeze_model",
     "materialize_quantized",
     "CSQConfig",

@@ -11,7 +11,10 @@ deployment flow would consume.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
 
 from repro import nn
 from repro.autograd import no_grad
@@ -116,6 +119,79 @@ def freeze_model(model: Module) -> Module:
     # All layers share one state; freezing through any of them freezes all.
     layers[0][1].state.freeze_all()
     return model
+
+
+@dataclass
+class QuantizedLayerExport:
+    """Everything the deployment artifact stores for one quantized layer.
+
+    ``q`` holds the exact frozen integer codes (hard gates, learned bit mask
+    applied); the dequantized weight is ``q * scale / (2**num_bits - 1)``.
+    ``config`` carries the geometry a runtime needs to re-instantiate the
+    layer (channels/features, kernel, stride, padding).
+    """
+
+    name: str
+    kind: str  #: ``"conv2d"`` or ``"linear"``
+    q: np.ndarray  #: signed integer codes, same shape as the weight
+    scale: float
+    num_bits: int  #: allocated bit planes (levels denominator ``2**n - 1``)
+    precision: int  #: learned precision ``sum_b I(m_B >= 0)``
+    selected_bits: List[int]  #: binary mask over bit planes, LSB first
+    act_bits: int
+    bias: Optional[np.ndarray]
+    config: Dict[str, int]
+
+    @property
+    def dequantized_weight(self) -> np.ndarray:
+        from repro.quant.functional import dequantize_codes
+
+        return dequantize_codes(self.q, self.scale, self.num_bits)
+
+
+def export_quantized_layers(model: Module) -> List[QuantizedLayerExport]:
+    """Extract the frozen integer representation of every CSQ layer.
+
+    This is the bridge between training and deployment: the returned records
+    contain only fixed-point data (codes, scales, geometry) — no gates, no
+    bit-plane parameters — and are what ``repro.deploy.save_artifact``
+    serializes.  Extraction always uses hard unit-step gates, matching
+    ``freeze_model`` semantics regardless of the current gate temperature.
+    """
+    exports: List[QuantizedLayerExport] = []
+    for name, layer in csq_layers(model):
+        q, scale = layer.bitparam.frozen_int_weight()
+        if isinstance(layer, CSQConv2d):
+            kind = "conv2d"
+            config = {
+                "in_channels": layer.in_channels,
+                "out_channels": layer.out_channels,
+                "kernel_size": layer.kernel_size,
+                "stride": layer.stride,
+                "padding": layer.padding,
+            }
+        elif isinstance(layer, CSQLinear):
+            kind = "linear"
+            config = {"in_features": layer.in_features, "out_features": layer.out_features}
+        else:  # pragma: no cover - future CSQ layer kinds must register here
+            raise TypeError(f"Layer {name!r} has unsupported CSQ type {type(layer).__name__}")
+        exports.append(
+            QuantizedLayerExport(
+                name=name,
+                kind=kind,
+                q=q,
+                scale=scale,
+                num_bits=layer.num_bits,
+                precision=layer.precision,
+                selected_bits=[int(b) for b in layer.bitparam.selected_bits()],
+                act_bits=layer.act_quant.bits,
+                bias=layer.bias.data.copy() if layer.bias is not None else None,
+                config=config,
+            )
+        )
+    if not exports:
+        raise ValueError("export_quantized_layers expects a model converted with convert_to_csq()")
+    return exports
 
 
 def materialize_quantized(model: Module) -> Module:

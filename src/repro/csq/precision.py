@@ -58,6 +58,18 @@ def model_scheme(model: Module) -> QuantizationScheme:
     return scheme
 
 
+def scheme_from_precision_map(
+    layer_sizes: Dict[str, int], precision_map: Dict[str, float]
+) -> QuantizationScheme:
+    """Rebuild a scheme from a deployment manifest's ``{name: bits}`` map.
+
+    The artifact stores the precision map (not the gate parameters), so size
+    accounting on the serving side goes through this instead of
+    :func:`model_scheme`, which needs live CSQ layers.
+    """
+    return QuantizationScheme.from_layer_bits(layer_sizes, precision_map)
+
+
 def precision_trajectory_entry(model: Module) -> Dict[str, float]:
     """Snapshot used by the trainer's history (Figures 2 and 3 series)."""
     return {

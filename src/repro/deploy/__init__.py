@@ -1,0 +1,48 @@
+"""Deployment subsystem: artifacts, integer inference runtime, serving.
+
+The training side of the repo ends at a frozen CSQ model; this package is
+the serving side:
+
+* :mod:`repro.deploy.packing` — offset-binary bit packing of integer codes,
+* :mod:`repro.deploy.artifact` — ``save_artifact`` / ``load_artifact``: one
+  ``.npz`` file with bit-packed weight codes at each layer's *learned*
+  precision, per-layer scales, BatchNorm state and a JSON manifest,
+* :mod:`repro.deploy.plan` — compiles a model skeleton into a flat list of
+  fused NumPy steps (conv+BN+ReLU as one GEMM + affine),
+* :mod:`repro.deploy.session` — :class:`InferenceSession`, the autograd-free
+  runtime executing a plan,
+* :mod:`repro.deploy.server` — :class:`Server`, a threaded serving engine
+  with dynamic micro-batching, an LRU response cache and latency stats.
+
+See DEPLOYMENT.md for the format specification and design notes.
+"""
+
+from repro.deploy.packing import PackedCodes, pack_codes, unpack_codes
+from repro.deploy.artifact import (
+    Artifact,
+    ArtifactError,
+    QuantizedTensorRecord,
+    load_artifact,
+    save_artifact,
+)
+from repro.deploy.plan import PlanError, compile_plan, plan_summary, register_plan_handler
+from repro.deploy.session import InferenceSession
+from repro.deploy.server import Server, ServerStats
+
+__all__ = [
+    "PackedCodes",
+    "pack_codes",
+    "unpack_codes",
+    "Artifact",
+    "ArtifactError",
+    "QuantizedTensorRecord",
+    "save_artifact",
+    "load_artifact",
+    "PlanError",
+    "compile_plan",
+    "plan_summary",
+    "register_plan_handler",
+    "InferenceSession",
+    "Server",
+    "ServerStats",
+]

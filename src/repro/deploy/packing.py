@@ -1,0 +1,86 @@
+"""Bit-packing of integer weight codes for the deployment artifact.
+
+A frozen CSQ layer stores signed integer codes ``q`` with
+``|q| <= sum_{b in selected} 2**b`` (Eq. 1 with the learned bit mask of
+Eq. 4 applied).  The artifact packs them in *offset binary*: codes are
+shifted by the layer minimum and written as a little-endian bit stream of
+``ceil(log2(q_max - q_min + 1))`` bits per element.
+
+For the common case of a layer whose learned mask selects the ``p`` low bit
+planes, ``q`` spans ``[-(2**p - 1), 2**p - 1]`` and the packed width is
+exactly ``p + 1`` bits per element — the learned precision plus one sign
+bit.  Non-contiguous masks cost the span of the selected planes instead;
+both cases are far below the 32 bits of the float checkpoint.  The width is
+derived from the *values actually present*, so a layer whose codes collapsed
+to a narrow range packs tighter than its nominal precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PackedCodes:
+    """A packed integer tensor: the byte payload plus its decode parameters."""
+
+    data: np.ndarray  #: uint8 bit stream (little-endian within and across bytes)
+    bits: int  #: packed width per element; 0 means every element equals ``offset``
+    offset: int  #: value subtracted before packing (the tensor minimum)
+    count: int  #: number of elements
+    shape: Tuple[int, ...]  #: original tensor shape
+
+    @property
+    def payload_bits(self) -> int:
+        """Exact number of payload bits (before rounding up to whole bytes)."""
+        return self.bits * self.count
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+
+def required_bits(q_min: int, q_max: int) -> int:
+    """Packed width for values spanning ``[q_min, q_max]`` (0 for a constant)."""
+    span = int(q_max) - int(q_min)
+    if span < 0:
+        raise ValueError(f"q_max ({q_max}) must be >= q_min ({q_min})")
+    return int(span).bit_length()
+
+
+def pack_codes(q: np.ndarray) -> PackedCodes:
+    """Pack an integer tensor into an offset-binary bit stream."""
+    q = np.asarray(q)
+    if not np.issubdtype(q.dtype, np.integer):
+        raise TypeError(f"pack_codes expects an integer array, got dtype {q.dtype}")
+    shape = tuple(q.shape)
+    flat = q.reshape(-1).astype(np.int64)
+    if flat.size == 0:
+        return PackedCodes(np.zeros(0, dtype=np.uint8), 0, 0, 0, shape)
+    offset = int(flat.min())
+    bits = required_bits(offset, int(flat.max()))
+    if bits == 0:
+        return PackedCodes(np.zeros(0, dtype=np.uint8), 0, offset, flat.size, shape)
+    shifted = (flat - offset).astype(np.uint64)
+    # (count, bits) bit matrix, LSB first, flattened into one stream.
+    planes = ((shifted[:, None] >> np.arange(bits, dtype=np.uint64)) & 1).astype(np.uint8)
+    data = np.packbits(planes.reshape(-1), bitorder="little")
+    return PackedCodes(data, bits, offset, flat.size, shape)
+
+
+def unpack_codes(packed: PackedCodes) -> np.ndarray:
+    """Exact inverse of :func:`pack_codes`; returns an int32 tensor."""
+    if packed.count == 0:
+        return np.zeros(packed.shape, dtype=np.int32)
+    if packed.bits == 0:
+        return np.full(packed.shape, packed.offset, dtype=np.int32)
+    flat_bits = np.unpackbits(
+        packed.data, count=packed.count * packed.bits, bitorder="little"
+    )
+    planes = flat_bits.reshape(packed.count, packed.bits).astype(np.int64)
+    pow2 = (1 << np.arange(packed.bits, dtype=np.int64))
+    values = planes @ pow2 + packed.offset
+    return values.astype(np.int32).reshape(packed.shape)

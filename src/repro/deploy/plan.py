@@ -1,0 +1,554 @@
+"""Flat layer plans: compiling a model skeleton into fused NumPy steps.
+
+The inference runtime does not execute ``Module.forward`` — that path builds
+an autograd graph per op.  Instead the model structure is compiled *once*
+into a flat list of :class:`Step` objects operating on plain ``np.ndarray``
+activations:
+
+* a convolution followed by batch normalization (and optionally ReLU)
+  becomes **one** step: the zero-copy im2col gather, a single GEMM against
+  the integer weight matrix, and a per-output-channel affine that folds the
+  dequantization factor, the BN scale/shift and the conv bias — dequantized
+  exactly once, in the output domain;
+* a linear layer keeps its integer matrix and applies the dequantization
+  scalar to the GEMM output;
+* residual blocks become one step holding the compiled main/shortcut
+  sub-plans, so the top-level plan stays a flat sequence.
+
+Architecture coverage is a registry keyed by module class name
+(:func:`register_plan_handler`): the built-in handlers cover every model in
+``repro.models`` (ResNet-CIFAR/-ImageNet, VGG, SimpleConvNet, TinyMLP) plus
+generic ``Sequential`` chains of leaf layers.  Third-party architectures
+register a handler instead of patching the compiler.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.autograd.ops import _pad_nchw, _patch_view, im2col
+from repro.deploy.artifact import QuantizedTensorRecord
+from repro.nn.module import Module
+
+
+class PlanError(ValueError):
+    """Raised when a model cannot be compiled into a layer plan."""
+
+
+# ---------------------------------------------------------------------------
+# Steps
+# ---------------------------------------------------------------------------
+
+
+class Step:
+    """One fused operation of the plan: ``ndarray -> ndarray``."""
+
+    name: str = "step"
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+class ConvStep(Step):
+    """Fused conv → (BN) → (ReLU): one GEMM plus a per-channel affine.
+
+    ``w_mat`` holds the raw integer codes (as float32 for the GEMM);
+    ``mult``/``shift`` are the folded output-domain affine:
+    ``mult = dequant * gamma / sqrt(var + eps)`` and
+    ``shift = (bias - mean) * gamma / sqrt(var + eps) + beta`` when a BN
+    layer was folded, or plain dequantization and bias otherwise.
+
+    The im2col column matrix and GEMM output are written into buffers owned
+    by the step and reused across calls (the batch geometry is stable when
+    serving), so the hot path performs no large allocations.  Consequence:
+    a step's output is only valid until its next call — plans are therefore
+    not re-entrant, and :class:`~repro.deploy.session.InferenceSession.run`
+    copies the final logits out.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        w_mat: np.ndarray,
+        mult: np.ndarray,
+        shift: Optional[np.ndarray],
+        kernel_size: int,
+        stride: int,
+        padding: int,
+        relu: bool = False,
+    ) -> None:
+        self.name = name
+        self.w_mat = np.ascontiguousarray(w_mat, dtype=np.float32)
+        self.out_channels = self.w_mat.shape[0]
+        self.mult = mult.astype(np.float32).reshape(-1, 1)
+        self.shift = None if shift is None else shift.astype(np.float32).reshape(-1, 1)
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.relu = relu
+        # Flat backing stores sliced per call: a prefix slice of a flat
+        # buffer reshapes to a contiguous (rows, columns) matrix, so varying
+        # batch sizes (the Server coalesces 1..max_batch requests per
+        # forward) reuse one grow-only allocation instead of re-allocating
+        # per geometry.
+        self._cols_store = np.empty(0, dtype=np.float32)
+        self._out_store = np.empty(0, dtype=np.float32)
+
+    def fold_bn(self, gamma_invstd: np.ndarray, shift: np.ndarray) -> None:
+        """Fold a following BatchNorm into this step's output affine."""
+        base_shift = 0.0 if self.shift is None else self.shift.reshape(-1)
+        new_shift = base_shift * gamma_invstd + shift
+        self.mult = (self.mult.reshape(-1) * gamma_invstd).astype(np.float32).reshape(-1, 1)
+        self.shift = new_shift.astype(np.float32).reshape(-1, 1)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        batch, channels, height, width = x.shape
+        k, stride = self.kernel_size, self.stride
+        out_h = (height + 2 * self.padding - k) // stride + 1
+        out_w = (width + 2 * self.padding - k) // stride + 1
+        columns = batch * out_h * out_w
+        rows = channels * k * k
+        if self._cols_store.size < rows * columns:
+            self._cols_store = np.empty(rows * columns, dtype=np.float32)
+            self._out_store = np.empty(self.out_channels * columns, dtype=np.float32)
+        cols = self._cols_store[: rows * columns].reshape(rows, columns)
+        out = self._out_store[: self.out_channels * columns].reshape(self.out_channels, columns)
+        # Gather straight into the reusable column buffer: the 6-D reshape of
+        # the contiguous buffer is a view, so copyto performs the one copy
+        # im2col needs with no intermediate allocation.
+        padded = _pad_nchw(x, self.padding)
+        view = _patch_view(padded, k, k, stride)
+        np.copyto(cols.reshape(view.shape), view)
+        np.matmul(self.w_mat, cols, out=out)
+        out *= self.mult
+        if self.shift is not None:
+            out += self.shift
+        if self.relu:
+            np.maximum(out, 0.0, out=out)
+        return out.reshape(self.out_channels, batch, out_h, out_w).transpose(1, 0, 2, 3)
+
+    def describe(self) -> str:
+        tail = "+bn" if self.shift is not None else ""
+        tail += "+relu" if self.relu else ""
+        return f"conv[{self.name}]{tail}"
+
+
+class LinearStep(Step):
+    """Fused linear → (BN) → (ReLU): integer GEMM, output-domain dequantization."""
+
+    def __init__(
+        self,
+        name: str,
+        w_mat: np.ndarray,
+        dequant: float,
+        bias: Optional[np.ndarray],
+        relu: bool = False,
+    ) -> None:
+        self.name = name
+        # Pre-transpose once so the hot path is a single ``x @ w_t``.
+        self.w_t = np.ascontiguousarray(w_mat.T, dtype=np.float32)
+        self.dequant = float(dequant)
+        self.bias = None if bias is None else bias.astype(np.float32)
+        self.relu = relu
+        self._folded_bn = False
+
+    def fold_bn(self, gamma_invstd: np.ndarray, shift: np.ndarray) -> None:
+        """Fold a following BatchNorm1d into the weight columns and bias."""
+        self.w_t = self.w_t * (self.dequant * gamma_invstd[None, :])
+        self.dequant = 1.0
+        base = 0.0 if self.bias is None else self.bias
+        self.bias = (base * gamma_invstd + shift).astype(np.float32)
+        self._folded_bn = True
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        out = x @ self.w_t
+        if self.dequant != 1.0:
+            out *= self.dequant
+        if self.bias is not None:
+            out += self.bias
+        if self.relu:
+            np.maximum(out, 0.0, out=out)
+        return out
+
+    def describe(self) -> str:
+        tail = "+bn" if self._folded_bn else ""
+        tail += "+relu" if self.relu else ""
+        return f"linear[{self.name}]{tail}"
+
+
+class AffineStep(Step):
+    """Standalone per-channel affine (a BatchNorm with no conv to fold into)."""
+
+    def __init__(self, name: str, mult: np.ndarray, shift: np.ndarray, ndim: int = 4) -> None:
+        self.name = name
+        shape = (1, -1, 1, 1) if ndim == 4 else (1, -1)
+        self.mult = mult.astype(np.float32).reshape(shape)
+        self.shift = shift.astype(np.float32).reshape(shape)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return x * self.mult + self.shift
+
+    def describe(self) -> str:
+        return f"affine[{self.name}]"
+
+
+class ReluStep(Step):
+    name = "relu"
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0.0)
+
+
+class MaxPoolStep(Step):
+    def __init__(self, kernel_size: int, stride: int) -> None:
+        self.name = f"maxpool{kernel_size}s{stride}"
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        k, s = self.kernel_size, self.stride
+        batch, channels, height, width = x.shape
+        if k == s and height % k == 0 and width % k == 0:
+            # Non-overlapping windows: a reshape and two reductions.
+            view = x.reshape(batch, channels, height // k, k, width // k, k)
+            return view.max(axis=5).max(axis=3)
+        cols = im2col(x.reshape(batch * channels, 1, height, width), k, k, s, 0)
+        out_h = (height - k) // s + 1
+        out_w = (width - k) // s + 1
+        return cols.max(axis=0).reshape(batch, channels, out_h, out_w)
+
+
+class AvgPoolStep(Step):
+    def __init__(self, kernel_size: int, stride: int) -> None:
+        self.name = f"avgpool{kernel_size}s{stride}"
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        k, s = self.kernel_size, self.stride
+        batch, channels, height, width = x.shape
+        if k == s and height % k == 0 and width % k == 0:
+            view = x.reshape(batch, channels, height // k, k, width // k, k)
+            return view.mean(axis=(3, 5))
+        cols = im2col(x.reshape(batch * channels, 1, height, width), k, k, s, 0)
+        out_h = (height - k) // s + 1
+        out_w = (width - k) // s + 1
+        return cols.mean(axis=0).reshape(batch, channels, out_h, out_w)
+
+
+class GlobalAvgPoolStep(Step):
+    name = "global_avg_pool"
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return x.mean(axis=(2, 3), keepdims=True)
+
+
+class FlattenStep(Step):
+    name = "flatten"
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return np.ascontiguousarray(x).reshape(x.shape[0], -1)
+
+
+class ResidualStep(Step):
+    """A residual block: main path plus (possibly empty) shortcut path."""
+
+    def __init__(self, name: str, main: List[Step], shortcut: List[Step], relu: bool = True) -> None:
+        self.name = name
+        self.main = main
+        self.shortcut = shortcut
+        self.relu = relu
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        identity = x
+        out = x
+        for step in self.main:
+            out = step(out)
+        for step in self.shortcut:
+            identity = step(identity)
+        out = out + identity
+        if self.relu:
+            np.maximum(out, 0.0, out=out)
+        return out
+
+    def describe(self) -> str:
+        inner = ", ".join(s.describe() for s in self.main)
+        return f"residual[{self.name}]({inner})"
+
+
+# ---------------------------------------------------------------------------
+# Compiler
+# ---------------------------------------------------------------------------
+
+
+class PlanBuilder:
+    """Accumulates steps while walking a module tree, fusing as it goes."""
+
+    def __init__(self, weights: Dict[int, QuantizedTensorRecord]) -> None:
+        self.weights = weights
+        self.steps: List[Step] = []
+
+    # -- leaf emitters --------------------------------------------------
+    def _conv_record(self, module: Module, name: str):
+        record = self.weights.get(id(module))
+        if record is not None:
+            w_mat = record.q.astype(np.float32).reshape(record.q.shape[0], -1)
+            dequant = record.dequant_factor
+            bias = record.bias
+        else:
+            weight = module.weight.data
+            w_mat = weight.reshape(weight.shape[0], -1).astype(np.float32)
+            dequant = 1.0
+            bias = None if module.bias is None else module.bias.data
+        return w_mat, dequant, bias
+
+    def conv(self, module: Module, name: str) -> None:
+        w_mat, dequant, bias = self._conv_record(module, name)
+        out_channels = w_mat.shape[0]
+        mult = np.full(out_channels, dequant, dtype=np.float32)
+        shift = None if bias is None else bias.astype(np.float32)
+        self.steps.append(
+            ConvStep(
+                name,
+                w_mat,
+                mult,
+                shift,
+                kernel_size=module.kernel_size,
+                stride=module.stride,
+                padding=module.padding,
+            )
+        )
+
+    def linear(self, module: Module, name: str) -> None:
+        # A quantized record's bias is authoritative — like the conv path,
+        # never fall back to the skeleton module's (randomly initialized)
+        # bias when the record says the layer has none.
+        w_mat, dequant, bias = self._conv_record(module, name)
+        self.steps.append(LinearStep(name, w_mat, dequant, bias))
+
+    def batch_norm(self, module: Module, name: str) -> None:
+        invstd = 1.0 / np.sqrt(module.running_var.data + module.eps)
+        gamma = module.weight.data if module.weight is not None else np.ones_like(invstd)
+        beta = module.bias.data if module.bias is not None else np.zeros_like(invstd)
+        gamma_invstd = (gamma * invstd).astype(np.float32)
+        shift = (beta - module.running_mean.data * gamma_invstd).astype(np.float32)
+        ndim = 2 if type(module).__name__ == "BatchNorm1d" else 4
+        last = self.steps[-1] if self.steps else None
+        if isinstance(last, (ConvStep, LinearStep)) and not last.relu:
+            last.fold_bn(gamma_invstd, shift)
+        else:
+            self.steps.append(AffineStep(name, gamma_invstd, shift, ndim=ndim))
+
+    def relu(self) -> None:
+        last = self.steps[-1] if self.steps else None
+        if isinstance(last, (ConvStep, LinearStep, ResidualStep)) and not last.relu:
+            last.relu = True
+        else:
+            self.steps.append(ReluStep())
+
+    # -- composition ----------------------------------------------------
+    def subplan(self) -> "PlanBuilder":
+        return PlanBuilder(self.weights)
+
+    def compile(self, module: Module, name: str) -> None:
+        """Dispatch one module (leaf or composite) into the step stream."""
+        handler = _HANDLERS.get(type(module).__name__)
+        if handler is not None:
+            handler(self, module, name)
+            return
+        raise PlanError(
+            f"No plan handler for module type {type(module).__name__!r} (at {name!r}); "
+            f"register one with repro.deploy.plan.register_plan_handler"
+        )
+
+
+#: module class name -> handler(builder, module, qualified_name)
+_HANDLERS: Dict[str, Callable[[PlanBuilder, Module, str], None]] = {}
+
+
+def register_plan_handler(*class_names: str):
+    """Register a plan compilation handler for the named module classes."""
+
+    def decorator(handler: Callable[[PlanBuilder, Module, str], None]):
+        for class_name in class_names:
+            _HANDLERS[class_name] = handler
+        return handler
+
+    return decorator
+
+
+def compile_plan(model: Module, weights: Dict[int, QuantizedTensorRecord]) -> List[Step]:
+    """Compile ``model`` (an eval-mode float skeleton) into a flat step list.
+
+    ``weights`` maps ``id(module)`` of conv/linear modules to their artifact
+    records; modules without a record fall back to their dense float weight.
+    """
+    builder = PlanBuilder(weights)
+    builder.compile(model, "")
+    if not builder.steps:
+        raise PlanError(f"Model {type(model).__name__} compiled to an empty plan")
+    return builder.steps
+
+
+def plan_summary(steps: List[Step]) -> str:
+    """One line per step — the deployment analogue of ``repr(model)``."""
+    return "\n".join(step.describe() for step in steps)
+
+
+# ---------------------------------------------------------------------------
+# Built-in handlers: leaves
+# ---------------------------------------------------------------------------
+
+
+def _child_name(prefix: str, child: str) -> str:
+    return f"{prefix}.{child}" if prefix else child
+
+
+@register_plan_handler("Conv2d")
+def _handle_conv(builder: PlanBuilder, module: Module, name: str) -> None:
+    builder.conv(module, name)
+
+
+@register_plan_handler("Linear")
+def _handle_linear(builder: PlanBuilder, module: Module, name: str) -> None:
+    builder.linear(module, name)
+
+
+@register_plan_handler("BatchNorm2d", "BatchNorm1d")
+def _handle_bn(builder: PlanBuilder, module: Module, name: str) -> None:
+    builder.batch_norm(module, name)
+
+
+@register_plan_handler("ReLU")
+def _handle_relu(builder: PlanBuilder, module: Module, name: str) -> None:
+    builder.relu()
+
+
+@register_plan_handler("MaxPool2d")
+def _handle_maxpool(builder: PlanBuilder, module: Module, name: str) -> None:
+    builder.steps.append(MaxPoolStep(module.kernel_size, module.stride))
+
+
+@register_plan_handler("AvgPool2d")
+def _handle_avgpool(builder: PlanBuilder, module: Module, name: str) -> None:
+    builder.steps.append(AvgPoolStep(module.kernel_size, module.stride))
+
+
+@register_plan_handler("AdaptiveAvgPool2d")
+def _handle_adaptive_avgpool(builder: PlanBuilder, module: Module, name: str) -> None:
+    builder.steps.append(GlobalAvgPoolStep())
+
+
+@register_plan_handler("Flatten")
+def _handle_flatten(builder: PlanBuilder, module: Module, name: str) -> None:
+    builder.steps.append(FlattenStep())
+
+
+@register_plan_handler("Identity", "Dropout")
+def _handle_noop(builder: PlanBuilder, module: Module, name: str) -> None:
+    # Dropout is identity at inference; Identity is identity everywhere.
+    return
+
+
+@register_plan_handler("Sequential", "ModuleList")
+def _handle_sequential(builder: PlanBuilder, module: Module, name: str) -> None:
+    for child_name, child in module.named_children():
+        builder.compile(child, _child_name(name, child_name))
+
+
+# ---------------------------------------------------------------------------
+# Built-in handlers: composite blocks and model classes
+# ---------------------------------------------------------------------------
+
+
+def _compile_downsample(builder: PlanBuilder, block: Module, name: str) -> List[Step]:
+    shortcut = builder.subplan()
+    shortcut.compile(block.downsample, _child_name(name, "downsample"))
+    return shortcut.steps
+
+
+@register_plan_handler("BasicBlockCIFAR", "BasicBlock")
+def _handle_basic_block(builder: PlanBuilder, block: Module, name: str) -> None:
+    main = builder.subplan()
+    main.conv(block.conv1, _child_name(name, "conv1"))
+    main.batch_norm(block.bn1, _child_name(name, "bn1"))
+    main.relu()
+    main.conv(block.conv2, _child_name(name, "conv2"))
+    main.batch_norm(block.bn2, _child_name(name, "bn2"))
+    builder.steps.append(
+        ResidualStep(name, main.steps, _compile_downsample(builder, block, name), relu=True)
+    )
+
+
+@register_plan_handler("Bottleneck")
+def _handle_bottleneck(builder: PlanBuilder, block: Module, name: str) -> None:
+    main = builder.subplan()
+    main.conv(block.conv1, _child_name(name, "conv1"))
+    main.batch_norm(block.bn1, _child_name(name, "bn1"))
+    main.relu()
+    main.conv(block.conv2, _child_name(name, "conv2"))
+    main.batch_norm(block.bn2, _child_name(name, "bn2"))
+    main.relu()
+    main.conv(block.conv3, _child_name(name, "conv3"))
+    main.batch_norm(block.bn3, _child_name(name, "bn3"))
+    builder.steps.append(
+        ResidualStep(name, main.steps, _compile_downsample(builder, block, name), relu=True)
+    )
+
+
+@register_plan_handler("ResNetCIFAR")
+def _handle_resnet_cifar(builder: PlanBuilder, model: Module, name: str) -> None:
+    builder.conv(model.conv1, _child_name(name, "conv1"))
+    builder.batch_norm(model.bn1, _child_name(name, "bn1"))
+    builder.relu()
+    for stage in ("layer1", "layer2", "layer3"):
+        builder.compile(getattr(model, stage), _child_name(name, stage))
+    builder.steps.append(GlobalAvgPoolStep())
+    builder.steps.append(FlattenStep())
+    builder.linear(model.fc, _child_name(name, "fc"))
+
+
+@register_plan_handler("ResNetImageNet")
+def _handle_resnet_imagenet(builder: PlanBuilder, model: Module, name: str) -> None:
+    builder.conv(model.conv1, _child_name(name, "conv1"))
+    builder.batch_norm(model.bn1, _child_name(name, "bn1"))
+    builder.relu()
+    builder.compile(model.maxpool, _child_name(name, "maxpool"))
+    for stage in ("layer1", "layer2", "layer3", "layer4"):
+        builder.compile(getattr(model, stage), _child_name(name, stage))
+    builder.steps.append(GlobalAvgPoolStep())
+    builder.steps.append(FlattenStep())
+    builder.linear(model.fc, _child_name(name, "fc"))
+
+
+@register_plan_handler("VGG")
+def _handle_vgg(builder: PlanBuilder, model: Module, name: str) -> None:
+    builder.compile(model.features, _child_name(name, "features"))
+    builder.steps.append(GlobalAvgPoolStep())
+    builder.steps.append(FlattenStep())
+    builder.linear(model.classifier, _child_name(name, "classifier"))
+
+
+@register_plan_handler("SimpleConvNet")
+def _handle_simple_convnet(builder: PlanBuilder, model: Module, name: str) -> None:
+    builder.conv(model.conv1, _child_name(name, "conv1"))
+    builder.batch_norm(model.bn1, _child_name(name, "bn1"))
+    builder.relu()
+    builder.conv(model.conv2, _child_name(name, "conv2"))
+    builder.batch_norm(model.bn2, _child_name(name, "bn2"))
+    builder.relu()
+    builder.steps.append(GlobalAvgPoolStep())
+    builder.steps.append(FlattenStep())
+    builder.linear(model.fc, _child_name(name, "fc"))
+
+
+@register_plan_handler("TinyMLP")
+def _handle_tiny_mlp(builder: PlanBuilder, model: Module, name: str) -> None:
+    builder.linear(model.fc1, _child_name(name, "fc1"))
+    builder.relu()
+    builder.linear(model.fc2, _child_name(name, "fc2"))

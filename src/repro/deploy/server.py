@@ -1,0 +1,301 @@
+"""Batched serving engine over an :class:`InferenceSession`.
+
+A :class:`Server` accepts single-example requests from any number of client
+threads and executes them on a worker thread with **dynamic micro-batching**:
+the worker drains the request queue, waiting up to ``max_wait_ms`` after the
+first request to coalesce up to ``max_batch`` examples into one forward pass
+— the classic latency/throughput trade the GEMM-heavy runtime rewards, since
+a batch-32 forward costs far less than 32 batch-1 forwards.
+
+An optional LRU response cache short-circuits byte-identical requests, and
+the server keeps running latency/throughput statistics (mean/p50/p95 request
+latency, mean batch size, cache hit rate) for the serving benchmarks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import statistics
+import threading
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+from queue import Empty, Queue
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.deploy.session import InferenceSession
+
+
+@dataclass
+class _Request:
+    x: np.ndarray
+    future: Future
+    enqueued_at: float
+    cache_key: Optional[bytes]
+
+
+class ServerStats:
+    """Thread-safe rolling statistics of a running server."""
+
+    def __init__(self, latency_window: int = 8192) -> None:
+        self._lock = threading.Lock()
+        self._latencies = deque(maxlen=latency_window)
+        self.requests = 0
+        self.served = 0
+        self.cache_hits = 0
+        self.batches = 0
+        self.batched_examples = 0
+        self.started_at = time.perf_counter()
+
+    def reset(self) -> None:
+        """Zero all counters and restart the throughput clock."""
+        with self._lock:
+            self._latencies.clear()
+            self.requests = 0
+            self.served = 0
+            self.cache_hits = 0
+            self.batches = 0
+            self.batched_examples = 0
+            self.started_at = time.perf_counter()
+
+    def record_submit(self, cache_hit: bool) -> None:
+        with self._lock:
+            self.requests += 1
+            if cache_hit:
+                self.cache_hits += 1
+
+    def record_batch(self, size: int, latencies: Sequence[float]) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batched_examples += size
+            self.served += size
+            self._latencies.extend(latencies)
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            latencies = sorted(self._latencies)
+            elapsed = time.perf_counter() - self.started_at
+            snapshot: Dict[str, float] = {
+                "requests": float(self.requests),
+                "served": float(self.served),
+                "cache_hits": float(self.cache_hits),
+                "batches": float(self.batches),
+                "mean_batch_size": (
+                    self.batched_examples / self.batches if self.batches else 0.0
+                ),
+                "throughput_rps": self.requests / elapsed if elapsed > 0 else 0.0,
+            }
+            if latencies:
+                snapshot["latency_mean_ms"] = 1e3 * statistics.fmean(latencies)
+                snapshot["latency_p50_ms"] = 1e3 * latencies[len(latencies) // 2]
+                snapshot["latency_p95_ms"] = 1e3 * latencies[int(0.95 * (len(latencies) - 1))]
+            return snapshot
+
+
+class Server:
+    """Threaded inference server with dynamic micro-batching and an LRU cache.
+
+    Parameters
+    ----------
+    session:
+        The :class:`InferenceSession` (or any object with a ``run(batch)``)
+        executing coalesced batches.
+    max_batch:
+        Largest number of requests fused into one forward pass.
+    max_wait_ms:
+        How long the worker waits after the first queued request for more
+        requests to coalesce.  0 disables batching delay (latency-optimal);
+        a couple of milliseconds already fills batches under load.
+    cache_size:
+        Number of responses kept in the LRU response cache; 0 disables
+        caching.  Keys are the exact request bytes, so only byte-identical
+        inputs hit.
+    """
+
+    _SHUTDOWN = object()
+
+    def __init__(
+        self,
+        session: InferenceSession,
+        max_batch: int = 32,
+        max_wait_ms: float = 2.0,
+        cache_size: int = 0,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        self.session = session
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_ms / 1e3
+        self.stats = ServerStats()
+        self._queue: "Queue[object]" = Queue()
+        self._cache: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
+        self._cache_size = cache_size
+        self._cache_lock = threading.Lock()
+        # Guards the running flag together with queue puts, so a submit that
+        # passed the running check cannot enqueue after stop() has drained.
+        self._lifecycle_lock = threading.Lock()
+        self._worker: Optional[threading.Thread] = None
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "Server":
+        with self._lifecycle_lock:
+            if self._running:
+                return self
+            self._running = True
+        # Stats cover the current serving session: without the reset, a
+        # restarted (or late-started) server reports throughput averaged
+        # over time it was not running.
+        self.stats.reset()
+        self._worker = threading.Thread(target=self._serve_loop, name="repro-server", daemon=True)
+        self._worker.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        with self._lifecycle_lock:
+            if not self._running:
+                return
+            self._running = False
+            self._queue.put(self._SHUTDOWN)
+        if self._worker is not None:
+            self._worker.join(timeout=timeout)
+            self._worker = None
+        # Fail any request the worker never reached (queued behind the
+        # shutdown sentinel, or submitted in the stop race window) instead of
+        # leaving its future pending forever.
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except Empty:
+                break
+            if isinstance(item, _Request):
+                item.future.set_exception(
+                    RuntimeError("Server stopped before the request was served")
+                )
+
+    def __enter__(self) -> "Server":
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    def submit(self, x: np.ndarray) -> "Future[np.ndarray]":
+        """Enqueue one example (no batch dimension); returns a Future of logits."""
+        # Checked again under the lifecycle lock before enqueueing; this early
+        # check also keeps the cache-hit fast path honest about a dead server.
+        if not self._running:
+            raise RuntimeError("Server is not running; call start() first")
+        x = np.ascontiguousarray(x, dtype=np.float32)
+        future: "Future[np.ndarray]" = Future()
+        key = self._key_for(x)
+        if key is not None:
+            cached = self._cache_get(key)
+            if cached is not None:
+                self.stats.record_submit(cache_hit=True)
+                future.set_result(cached.copy())
+                return future
+        request = _Request(x=x, future=future, enqueued_at=time.perf_counter(), cache_key=key)
+        with self._lifecycle_lock:
+            if not self._running:
+                raise RuntimeError("Server is not running; call start() first")
+            self.stats.record_submit(cache_hit=False)
+            self._queue.put(request)
+        return future
+
+    def predict(self, x: np.ndarray, timeout: Optional[float] = 30.0) -> np.ndarray:
+        """Blocking single-example inference."""
+        return self.submit(x).result(timeout=timeout)
+
+    def predict_many(
+        self, xs: Sequence[np.ndarray], timeout: Optional[float] = 30.0
+    ) -> List[np.ndarray]:
+        """Submit many examples concurrently and gather their results."""
+        futures = [self.submit(x) for x in xs]
+        return [f.result(timeout=timeout) for f in futures]
+
+    # ------------------------------------------------------------------
+    # Worker
+    # ------------------------------------------------------------------
+    def _serve_loop(self) -> None:
+        while True:
+            try:
+                first = self._queue.get(timeout=0.1)
+            except Empty:
+                if not self._running:
+                    return
+                continue
+            if first is self._SHUTDOWN:
+                return
+            batch: List[_Request] = [first]
+            deadline = time.perf_counter() + self.max_wait_s
+            while len(batch) < self.max_batch:
+                remaining = deadline - time.perf_counter()
+                try:
+                    item = self._queue.get(block=remaining > 0, timeout=max(remaining, 1e-4))
+                except Empty:
+                    break
+                if item is self._SHUTDOWN:
+                    self._execute(batch)
+                    return
+                batch.append(item)
+            self._execute(batch)
+
+    def _execute(self, batch: List[_Request]) -> None:
+        if len(batch) > 1 and len({request.x.shape for request in batch}) > 1:
+            # A malformed request must not poison its batch-mates: mixed
+            # shapes cannot be stacked, so serve each request individually
+            # and let only the offender fail.
+            for request in batch:
+                self._execute([request])
+            return
+        try:
+            stacked = np.stack([request.x for request in batch])
+            logits = self.session.run(stacked)
+        except Exception as error:  # surface runtime failures to every waiter
+            for request in batch:
+                request.future.set_exception(error)
+            return
+        done = time.perf_counter()
+        latencies = [done - request.enqueued_at for request in batch]
+        for request, row in zip(batch, logits):
+            # Copy the row out of the batch array: a view would pin the whole
+            # batch in the cache, and callers must own their result.
+            result = row.copy()
+            if request.cache_key is not None:
+                self._cache_put(request.cache_key, result.copy())
+            request.future.set_result(result)
+        self.stats.record_batch(len(batch), latencies)
+
+    # ------------------------------------------------------------------
+    # Cache
+    # ------------------------------------------------------------------
+    def _key_for(self, x: np.ndarray) -> Optional[bytes]:
+        if self._cache_size <= 0:
+            return None
+        digest = hashlib.sha1(x.tobytes())
+        digest.update(repr(x.shape).encode())
+        return digest.digest()
+
+    def _cache_get(self, key: bytes) -> Optional[np.ndarray]:
+        with self._cache_lock:
+            value = self._cache.get(key)
+            if value is not None:
+                self._cache.move_to_end(key)
+            return value
+
+    def _cache_put(self, key: bytes, value: np.ndarray) -> None:
+        with self._cache_lock:
+            self._cache[key] = value
+            self._cache.move_to_end(key)
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)

@@ -1,0 +1,129 @@
+"""Autograd-free integer inference runtime.
+
+An :class:`InferenceSession` owns a loaded artifact and a compiled flat
+layer plan (see :mod:`repro.deploy.plan`).  ``run`` takes an NCHW (or NF)
+float32 batch and returns logits; nothing on the hot path allocates a
+``Tensor``, records a graph node, or touches the training stack — the only
+per-layer work is the im2col gather, one GEMM against the integer weight
+matrix, and the folded output affine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple, Union
+
+import numpy as np
+
+from repro.deploy.artifact import Artifact, ArtifactError, load_artifact
+from repro.deploy.plan import Step, compile_plan, plan_summary
+
+
+class InferenceSession:
+    """Executes a deployment artifact in the integer domain.
+
+    Parameters
+    ----------
+    artifact:
+        An :class:`~repro.deploy.artifact.Artifact` or a path to one.
+        Codes are unpacked and the plan compiled once, here; ``run`` is
+        pure NumPy afterwards.
+
+    float_activations:
+        The runtime executes activations in float32; a model trained with
+        ``act_bits < 32`` would therefore serve (slightly) different
+        numbers than the frozen CSQ model it was validated as.  Loading
+        such an artifact raises unless ``float_activations=True``
+        explicitly accepts that divergence.  (Integer activation support is
+        a ROADMAP item; the manifest already carries ``act_bits``.)
+
+    ``run`` is **not re-entrant**: conv steps reuse owned column/GEMM
+    buffers across calls, so a session must not execute two batches
+    concurrently.  The :class:`~repro.deploy.server.Server` serializes all
+    requests through one worker thread; for thread-parallel serving use one
+    session per worker.
+    """
+
+    def __init__(
+        self, artifact: Union[Artifact, str], float_activations: bool = False
+    ) -> None:
+        if not isinstance(artifact, Artifact):
+            artifact = load_artifact(artifact)
+        self.artifact = artifact
+        quantized_acts = sorted(
+            name for name, rec in artifact.quantized.items() if rec.act_bits < 32
+        )
+        if quantized_acts and not float_activations:
+            raise ArtifactError(
+                f"Artifact layers {quantized_acts} were trained with quantized "
+                f"activations (act_bits < 32), which this runtime executes in "
+                f"float32 — served outputs would differ from the validated "
+                f"model.  Pass float_activations=True to accept that."
+            )
+        # The skeleton provides structure and the BatchNorm constants the
+        # plan folds; its (dequantized) weights are not used on the hot path.
+        skeleton = artifact.build_model()
+        weights = {}
+        modules = dict(skeleton.named_modules())
+        for name, record in artifact.quantized.items():
+            weights[id(modules[name])] = record
+        self.plan: List[Step] = compile_plan(skeleton, weights)
+        self._calls = 0
+        self._examples = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def arch(self) -> str:
+        return self.artifact.arch
+
+    @property
+    def precision_map(self) -> Dict[str, int]:
+        return self.artifact.precision_map
+
+    def summary(self) -> str:
+        header = (
+            f"InferenceSession(arch={self.arch!r}, "
+            f"avg_precision={self.artifact.scheme().average_precision:.2f}, "
+            f"steps={len(self.plan)})"
+        )
+        return header + "\n" + plan_summary(self.plan)
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {"calls": self._calls, "examples": self._examples}
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """Run the plan over a batch; returns the logits as float32."""
+        out = np.ascontiguousarray(x, dtype=np.float32)
+        batch = out.shape[0]
+        for step in self.plan:
+            out = step(out)
+        self._calls += 1
+        self._examples += batch
+        # The caller must own the result: a plan ending in a ConvStep hands
+        # back a view of that step's reused buffer (which the next run()
+        # overwrites), and such a view can be contiguous — copy whenever the
+        # final array does not own its data.
+        if out.base is not None or not out.flags["OWNDATA"]:
+            out = out.copy()
+        return np.ascontiguousarray(out)
+
+    __call__ = run
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Class predictions (argmax over logits) for a batch."""
+        return self.run(x).argmax(axis=-1)
+
+    def evaluate(self, loader: Iterable[Tuple[np.ndarray, np.ndarray]]) -> Dict[str, float]:
+        """Accuracy over an iterable of ``(images, labels)`` batches."""
+        correct = 0
+        total = 0
+        for images, labels in loader:
+            prediction = self.predict(np.asarray(images))
+            correct += int((prediction == np.asarray(labels)).sum())
+            total += len(labels)
+        return {"accuracy": correct / total if total else float("nan")}

@@ -1,0 +1,49 @@
+"""Deterministic frozen-model construction shared by tests, benches, smokes.
+
+The deployment tests/benches need a frozen CSQ model with *known* mixed
+per-layer precisions rather than trained ones; this helper sets the mask
+parameters directly (low ``p`` bit planes selected, cycling through
+``precisions``) and optionally randomizes BatchNorm running statistics so
+BN folding is exercised with non-trivial values.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.csq.convert import convert_to_csq, freeze_model
+from repro.csq.precision import csq_layers
+from repro.models import create_model
+from repro.nn.module import Module
+
+
+def frozen_mixed_model(
+    arch: str,
+    precisions: Sequence[int] = (2, 3, 4, 5, 8),
+    seed: int = 1,
+    act_bits: int = 32,
+    randomize_bn: bool = True,
+    **arch_kwargs,
+) -> Module:
+    """A frozen CSQ model with deterministic mixed per-layer precisions."""
+    model = create_model(arch, **arch_kwargs)
+    if randomize_bn:
+        rng = np.random.default_rng(seed)
+        for _, module in model.named_modules():
+            if hasattr(module, "running_mean"):
+                module.running_mean.data = (
+                    0.3 * rng.standard_normal(module.running_mean.data.shape)
+                ).astype(np.float32)
+                module.running_var.data = (
+                    np.abs(rng.standard_normal(module.running_var.data.shape)) + 0.5
+                ).astype(np.float32)
+    model, _ = convert_to_csq(model, num_bits=8, act_bits=act_bits)
+    for index, (_, layer) in enumerate(csq_layers(model)):
+        bits = precisions[index % len(precisions)]
+        mask = np.full(layer.num_bits, -1.0, dtype=np.float32)
+        mask[:bits] = 1.0
+        layer.bitparam.m_b.data = mask
+    freeze_model(model)
+    return model

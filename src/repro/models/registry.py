@@ -28,6 +28,16 @@ def create_model(name: str, **kwargs) -> Module:
     return _REGISTRY[name](**kwargs)
 
 
+def has_model(name: str) -> bool:
+    """Whether ``name`` is a registered architecture id.
+
+    Deployment artifacts reference models by registry id; loaders use this to
+    fail with a clear message when an artifact was produced against a build
+    with extra registered architectures.
+    """
+    return name in _REGISTRY
+
+
 def list_models() -> List[str]:
     """Names of all registered models."""
     return sorted(_REGISTRY)

@@ -182,6 +182,15 @@ class Module:
         lines.append(")")
         return "\n".join(lines) if len(lines) > 2 else f"{type(self).__name__}({self.extra_repr()})"
 
+    def state_dict_nbytes(self) -> int:
+        """Total bytes of the dense ``state_dict`` arrays.
+
+        This is the checkpoint-size baseline the deployment artifact's
+        compression is measured against (parameters plus buffers, at their
+        stored dtypes — float32 throughout this library).
+        """
+        return sum(array.nbytes for array in self.state_dict().values())
+
     def num_parameters(self, trainable_only: bool = False) -> int:
         """Total number of scalar parameters in the module tree."""
         total = 0

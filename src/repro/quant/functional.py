@@ -48,6 +48,17 @@ def quantize_dequantize(weight: np.ndarray, bits: int, scale: float | None = Non
     return (q.astype(weight.dtype) / levels) * used_scale
 
 
+def dequantize_codes(q: np.ndarray, scale: float, bits: int) -> np.ndarray:
+    """Map integer codes back to float weights: ``q * scale / (2**bits - 1)``.
+
+    The single definition of the code→weight contract shared by the CSQ
+    freezing/export path and the deployment artifact loader — both sides of
+    a serialized model must dequantize identically.
+    """
+    levels = float(2 ** bits - 1)
+    return (np.asarray(q).astype(np.float32) * (float(scale) / levels)).astype(np.float32)
+
+
 def bit_decompose(weight: np.ndarray, bits: int, scale: float | None = None) -> Tuple[np.ndarray, np.ndarray, float]:
     """Decompose a weight tensor into positive/negative bit planes (Eq. 1).
 

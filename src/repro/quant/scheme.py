@@ -9,6 +9,7 @@ harnesses all compute sizes identically.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping
 
@@ -31,6 +32,21 @@ class LayerQuantSpec:
     @property
     def fp32_size_bits(self) -> int:
         return self.num_elements * FP32_BITS
+
+    @property
+    def packed_size_bits(self) -> float:
+        """Disk cost of the layer in the deployment artifact's packing.
+
+        The artifact stores offset-binary codes at the learned precision plus
+        one sign bit per element (see ``repro.deploy.packing``).  This bound
+        assumes the learned mask selects *contiguous* bit planes (the common
+        trained outcome, and what the artifact tests construct): a gappy mask
+        packs at the span of its selected planes instead, which can exceed
+        ``bits + 1`` (see DEPLOYMENT.md, "Packing").
+        """
+        if self.bits <= 0:
+            return 0.0
+        return self.num_elements * (math.ceil(self.bits) + 1)
 
 
 @dataclass
@@ -71,6 +87,11 @@ class QuantizationScheme:
         if self.total_size_bits == 0:
             return float("inf")
         return sum(layer.fp32_size_bits for layer in self.layers) / self.total_size_bits
+
+    @property
+    def packed_size_bits(self) -> float:
+        """Total artifact packing budget (precision + sign bit per element)."""
+        return sum(layer.packed_size_bits for layer in self.layers)
 
     def layer_bits(self) -> Dict[str, float]:
         """Mapping ``layer name -> precision`` (the Figure 4 series)."""

@@ -1,0 +1,127 @@
+"""Artifact save/load round trips and size accounting."""
+
+import numpy as np
+import pytest
+
+from repro.csq.convert import materialize_quantized
+from repro.csq.precision import csq_layers
+from repro.deploy import ArtifactError, load_artifact, save_artifact
+from tests.deploy.conftest import frozen_mixed_model
+
+
+def test_roundtrip_preserves_codes_and_metadata(artifact_path):
+    model = frozen_mixed_model("simple_convnet", num_classes=10, width=8)
+    expected = {
+        name: (layer.bitparam.frozen_int_weight(), layer.precision)
+        for name, layer in csq_layers(model)
+    }
+    saved = save_artifact(model, artifact_path, arch="simple_convnet",
+                          arch_kwargs={"num_classes": 10, "width": 8},
+                          metadata={"run": "unit-test"})
+    loaded = load_artifact(artifact_path)
+
+    assert loaded.arch == "simple_convnet"
+    assert loaded.manifest["metadata"] == {"run": "unit-test"}
+    assert loaded.manifest["format_version"] == saved.manifest["format_version"]
+    assert set(loaded.quantized) == set(expected)
+    for name, ((q, scale), precision) in expected.items():
+        record = loaded.quantized[name]
+        np.testing.assert_array_equal(record.q, q)
+        assert record.scale == pytest.approx(scale)
+        assert record.precision == precision
+    # BN state must survive byte-exactly (it is folded into the plan).
+    assert "bn1.running_mean" in loaded.floats
+    np.testing.assert_array_equal(
+        loaded.floats["bn1.running_var"], model.bn1.running_var.data
+    )
+
+
+def test_dequantized_weights_match_frozen_floats(artifact_path):
+    model = frozen_mixed_model("simple_convnet", num_classes=10, width=8)
+    frozen = {name: layer.bitparam.frozen_weight() for name, layer in csq_layers(model)}
+    save_artifact(model, artifact_path, arch="simple_convnet",
+                  arch_kwargs={"num_classes": 10, "width": 8})
+    loaded = load_artifact(artifact_path)
+    for name, weight in frozen.items():
+        np.testing.assert_allclose(
+            loaded.quantized[name].dequantized_weight, weight, atol=1e-6
+        )
+
+
+def test_build_model_matches_materialized(artifact_path, rng):
+    from repro.autograd.tensor import Tensor, no_grad
+
+    arch_kwargs = {"num_classes": 10, "width_mult": 0.25}
+    model = frozen_mixed_model("resnet20", **arch_kwargs)
+    save_artifact(model, artifact_path, arch="resnet20", arch_kwargs=arch_kwargs)
+    rebuilt = load_artifact(artifact_path).build_model()
+    materialized = materialize_quantized(model)
+    materialized.eval()
+    x = rng.standard_normal((3, 3, 12, 12)).astype(np.float32)
+    with no_grad():
+        want = materialized(Tensor(x)).data
+        got = rebuilt(Tensor(x)).data
+    np.testing.assert_allclose(got, want, atol=1e-6)
+
+
+def test_disk_size_matches_precision_accounting(artifact_path):
+    """Packed payload obeys the (precision + 1 sign bit) budget per element."""
+    arch_kwargs = {"num_classes": 10, "width_mult": 0.5}
+    model = frozen_mixed_model("resnet20", precisions=(2, 3, 4), **arch_kwargs)
+    save_artifact(model, artifact_path, arch="resnet20", arch_kwargs=arch_kwargs)
+    loaded = load_artifact(artifact_path)
+    scheme = loaded.scheme()
+    assert loaded.packed_payload_bits() <= scheme.packed_size_bits
+    # The whole file (codes + BN floats + manifest + zip headers) stays within
+    # the packing budget plus the dense float ride-along and bounded overhead.
+    float_bytes = sum(v.nbytes for v in loaded.floats.values())
+    bias_bytes = sum(
+        r.bias.nbytes for r in loaded.quantized.values() if r.bias is not None
+    )
+    # Overhead is metadata-proportional: each quantized layer contributes a
+    # manifest entry (~0.5 KB of JSON) and a zip/npy member header; give each
+    # a 2 KB allowance plus a fixed base for the manifest array and floats
+    # blob headers.
+    overhead_budget = 2048 * len(loaded.quantized) + 8192
+    assert loaded.file_bytes <= (
+        scheme.packed_size_bits / 8 + float_bytes + bias_bytes + overhead_budget
+    )
+
+
+def test_mixed_precision_resnet20_is_4x_smaller_than_fp32(artifact_path):
+    """Acceptance criterion: artifact ≥ 4x smaller than the float checkpoint."""
+    arch_kwargs = {"num_classes": 10, "width_mult": 1.0}
+    model = frozen_mixed_model("resnet20", precisions=(2, 3, 4), **arch_kwargs)
+    save_artifact(model, artifact_path, arch="resnet20", arch_kwargs=arch_kwargs)
+    loaded = load_artifact(artifact_path)
+    float_model = materialize_quantized(model)
+    fp32_bytes = float_model.state_dict_nbytes()
+    assert fp32_bytes / loaded.file_bytes >= 4.0
+
+
+def test_unknown_arch_rejected_at_save(artifact_path):
+    model = frozen_mixed_model("simple_convnet", num_classes=10, width=8)
+    with pytest.raises(ArtifactError, match="Unknown architecture"):
+        save_artifact(model, artifact_path, arch="not_a_model")
+
+
+def test_wrong_arch_kwargs_rejected_at_build(artifact_path):
+    model = frozen_mixed_model("simple_convnet", num_classes=10, width=8)
+    save_artifact(model, artifact_path, arch="simple_convnet",
+                  arch_kwargs={"num_classes": 10, "width": 16})  # wrong width
+    with pytest.raises(ArtifactError, match="shape"):
+        load_artifact(artifact_path).build_model()
+
+
+def test_float_model_rejected(artifact_path):
+    from repro.models import create_model
+
+    with pytest.raises(ValueError, match="convert_to_csq"):
+        save_artifact(create_model("simple_convnet"), artifact_path, arch="simple_convnet")
+
+
+def test_non_artifact_file_rejected(tmp_path):
+    path = str(tmp_path / "junk.npz")
+    np.savez(path, other=np.zeros(3))
+    with pytest.raises(ArtifactError, match="manifest"):
+        load_artifact(path)

@@ -1,0 +1,56 @@
+"""Bit-packing round trips and width accounting."""
+
+import numpy as np
+import pytest
+
+from repro.deploy.packing import pack_codes, required_bits, unpack_codes
+
+
+def test_roundtrip_random_signed(rng):
+    q = rng.integers(-255, 256, size=(7, 3, 3, 3))
+    packed = pack_codes(q)
+    assert packed.bits == required_bits(q.min(), q.max())
+    np.testing.assert_array_equal(unpack_codes(packed), q)
+
+
+@pytest.mark.parametrize("bits", [1, 2, 3, 4, 5, 8])
+def test_roundtrip_symmetric_range_uses_bits_plus_one(rng, bits):
+    # A p-bit CSQ layer's codes span [-(2^p - 1), 2^p - 1]: p + 1 packed bits.
+    magnitude = 2 ** bits - 1
+    q = rng.integers(-magnitude, magnitude + 1, size=1000)
+    q[0], q[1] = -magnitude, magnitude  # pin the extremes
+    packed = pack_codes(q)
+    assert packed.bits == bits + 1
+    assert packed.payload_bits == 1000 * (bits + 1)
+    np.testing.assert_array_equal(unpack_codes(packed), q)
+
+
+def test_constant_tensor_costs_nothing():
+    q = np.full((4, 4), 13, dtype=np.int64)
+    packed = pack_codes(q)
+    assert packed.bits == 0
+    assert packed.data.size == 0
+    np.testing.assert_array_equal(unpack_codes(packed), q)
+
+
+def test_empty_tensor():
+    packed = pack_codes(np.zeros((0,), dtype=np.int64))
+    assert unpack_codes(packed).shape == (0,)
+
+
+def test_preserves_shape(rng):
+    q = rng.integers(-7, 8, size=(2, 5, 1, 4))
+    assert unpack_codes(pack_codes(q)).shape == (2, 5, 1, 4)
+
+
+def test_rejects_float_arrays():
+    with pytest.raises(TypeError):
+        pack_codes(np.zeros(3, dtype=np.float32))
+
+
+def test_payload_is_dense(rng):
+    # 1000 3-bit values must pack into ceil(3000/8) bytes, not 1000 bytes.
+    q = rng.integers(0, 8, size=1000)
+    q[0], q[1] = 0, 7
+    packed = pack_codes(q)
+    assert packed.nbytes == (1000 * 3 + 7) // 8

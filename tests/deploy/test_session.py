@@ -1,0 +1,142 @@
+"""InferenceSession round-trip parity with the training-stack eval path."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.csq.convert import materialize_quantized
+from repro.deploy import InferenceSession, load_artifact, save_artifact
+from repro.deploy.plan import PlanError, compile_plan
+from tests.deploy.conftest import frozen_mixed_model
+
+# (arch, arch_kwargs, input shape) — every model family the registry serves.
+_CASES = [
+    ("resnet20", {"num_classes": 10, "width_mult": 0.25}, (4, 3, 12, 12)),
+    ("vgg11_bn", {"num_classes": 10, "width_mult": 0.125}, (2, 3, 32, 32)),
+    ("resnet18", {"num_classes": 10, "width_mult": 0.125, "small_input": True}, (2, 3, 16, 16)),
+    ("resnet50", {"num_classes": 10, "width_mult": 0.125, "small_input": True}, (2, 3, 16, 16)),
+    ("simple_convnet", {"num_classes": 10, "width": 8}, (4, 3, 10, 10)),
+    ("tiny_mlp", {}, (4, 16)),
+]
+
+
+def _session_and_reference(arch, arch_kwargs, artifact_path, precisions=(2, 3, 4, 5, 8)):
+    model = frozen_mixed_model(arch, precisions=precisions, **arch_kwargs)
+    save_artifact(model, artifact_path, arch=arch, arch_kwargs=arch_kwargs)
+    session = InferenceSession(load_artifact(artifact_path))
+    reference = materialize_quantized(model)
+    reference.eval()
+    return session, reference
+
+
+@pytest.mark.parametrize("arch,arch_kwargs,shape", _CASES,
+                         ids=[case[0] for case in _CASES])
+def test_session_matches_materialized_logits(arch, arch_kwargs, shape, artifact_path, rng):
+    """state_dict → artifact → session reproduces the float path within 1e-5."""
+    session, reference = _session_and_reference(arch, arch_kwargs, artifact_path)
+    x = rng.standard_normal(shape).astype(np.float32)
+    got = session.run(x)
+    with no_grad():
+        want = reference(Tensor(x)).data
+    assert got.shape == want.shape
+    np.testing.assert_allclose(got, want, atol=1e-5, rtol=1e-5)
+
+
+def test_session_from_path(artifact_path, rng):
+    model = frozen_mixed_model("simple_convnet", num_classes=10, width=8)
+    save_artifact(model, artifact_path, arch="simple_convnet",
+                  arch_kwargs={"num_classes": 10, "width": 8})
+    session = InferenceSession(artifact_path)  # load directly from disk
+    x = rng.standard_normal((2, 3, 10, 10)).astype(np.float32)
+    assert session.run(x).shape == (2, 10)
+
+
+def test_batch_invariance(artifact_path, rng):
+    """Row i of a batched run equals the single-example run of row i."""
+    session, _ = _session_and_reference(
+        "resnet20", {"num_classes": 10, "width_mult": 0.25}, artifact_path
+    )
+    x = rng.standard_normal((5, 3, 12, 12)).astype(np.float32)
+    batched = session.run(x)
+    for i in range(len(x)):
+        single = session.run(x[i:i + 1])
+        np.testing.assert_allclose(single[0], batched[i], atol=1e-5, rtol=1e-5)
+
+
+def test_predict_and_evaluate(artifact_path, rng):
+    session, reference = _session_and_reference(
+        "simple_convnet", {"num_classes": 10, "width": 8}, artifact_path
+    )
+    x = rng.standard_normal((6, 3, 10, 10)).astype(np.float32)
+    with no_grad():
+        want = reference(Tensor(x)).data.argmax(axis=-1)
+    np.testing.assert_array_equal(session.predict(x), want)
+    labels = want.copy()
+    labels[0] = (labels[0] + 1) % 10  # force one miss
+    metrics = session.evaluate([(x, labels)])
+    assert metrics["accuracy"] == pytest.approx(5 / 6)
+
+
+def test_session_counts_work(artifact_path, rng):
+    session, _ = _session_and_reference(
+        "tiny_mlp", {}, artifact_path, precisions=(3,)
+    )
+    session.run(rng.standard_normal((4, 16)).astype(np.float32))
+    session.run(rng.standard_normal((2, 16)).astype(np.float32))
+    assert session.stats == {"calls": 2, "examples": 6}
+
+
+def test_summary_mentions_fused_steps(artifact_path):
+    session, _ = _session_and_reference(
+        "simple_convnet", {"num_classes": 10, "width": 8}, artifact_path
+    )
+    summary = session.summary()
+    assert "conv[conv1]+bn+relu" in summary  # conv, BN and ReLU fused into one step
+    assert "linear[fc]" in summary
+
+
+def test_activation_quantized_artifact_refused_by_default(artifact_path, rng):
+    """act_bits < 32 artifacts must not silently serve float activations."""
+    from repro.deploy import ArtifactError
+
+    model = frozen_mixed_model("simple_convnet", act_bits=4, num_classes=10, width=8)
+    save_artifact(model, artifact_path, arch="simple_convnet",
+                  arch_kwargs={"num_classes": 10, "width": 8})
+    with pytest.raises(ArtifactError, match="act_bits"):
+        InferenceSession(artifact_path)
+    # Explicit opt-in serves float activations (documented divergence).
+    session = InferenceSession(artifact_path, float_activations=True)
+    assert session.run(rng.standard_normal((2, 3, 10, 10)).astype(np.float32)).shape == (2, 10)
+
+
+def test_linear_batchnorm1d_folds_correctly(rng):
+    """Linear → BatchNorm1d → ReLU compiles to one fused step with correct math."""
+    from repro import nn
+    from repro.autograd.tensor import Tensor, no_grad
+
+    model = nn.Sequential(nn.Linear(6, 5), nn.BatchNorm1d(5), nn.ReLU())
+    bn = model[1]
+    bn.running_mean.data = rng.standard_normal(5).astype(np.float32)
+    bn.running_var.data = (np.abs(rng.standard_normal(5)) + 0.5).astype(np.float32)
+    model.eval()
+    steps = compile_plan(model, {})
+    assert len(steps) == 1
+    assert steps[0].describe() == "linear[0]+bn+relu"
+    x = rng.standard_normal((3, 6)).astype(np.float32)
+    with no_grad():
+        want = model(Tensor(x)).data
+    out = x.copy()
+    for step in steps:
+        out = step(out)
+    np.testing.assert_allclose(out, want, atol=1e-5, rtol=1e-5)
+
+
+def test_unknown_module_raises_plan_error():
+    from repro import nn
+
+    class Strange(nn.Module):
+        def forward(self, x):  # pragma: no cover - never executed
+            return x
+
+    with pytest.raises(PlanError, match="register_plan_handler"):
+        compile_plan(Strange(), {})
