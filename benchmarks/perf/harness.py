@@ -12,6 +12,7 @@ anywhere the library runs.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import statistics
 import sys
@@ -119,7 +120,12 @@ def run_suites(
 ) -> Dict[str, object]:
     """Run the named suites and return the JSON-serializable results document."""
     # Import for side effects: suite registration.
-    from benchmarks.perf import ops_bench, serve_bench, train_bench  # noqa: F401
+    from benchmarks.perf import (  # noqa: F401
+        ops_bench,
+        runtime_bench,
+        serve_bench,
+        train_bench,
+    )
 
     unknown = [n for n in names if n != "all" and n not in SUITES]
     if unknown:
@@ -141,12 +147,30 @@ def run_suites(
         "scale": scale,
         "warmup": warmup,
         "iters": iters,
-        "environment": {
-            "python": sys.version.split()[0],
-            "numpy": np.__version__,
-            "platform": platform.platform(),
-        },
+        "environment": _environment(),
         "results": [r.to_dict() for r in results],
+    }
+
+
+def _environment() -> Dict[str, object]:
+    """Interpreter + machine + compute-runtime metadata recorded per run.
+
+    The thread configuration is part of the result's identity: baselines
+    recorded at different ``REPRO_NUM_THREADS`` (or on hosts with different
+    core counts) must never be silently compared, so both are in the JSON.
+    """
+    try:
+        from repro.runtime import num_threads
+        threads: object = num_threads()
+    except Exception:  # library not importable (foreign checkout): raw env
+        threads = os.environ.get("REPRO_NUM_THREADS", "unset")
+    return {
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "repro_num_threads": threads,
+        "repro_num_threads_env": os.environ.get("REPRO_NUM_THREADS", "unset"),
     }
 
 

@@ -16,7 +16,12 @@ from benchmarks.perf.harness import run_suites, write_results, SUITES
 
 def main(argv=None) -> int:
     # Touch the registry so --help lists real suite names.
-    from benchmarks.perf import ops_bench, serve_bench, train_bench  # noqa: F401
+    from benchmarks.perf import (  # noqa: F401
+        ops_bench,
+        runtime_bench,
+        serve_bench,
+        train_bench,
+    )
 
     parser = argparse.ArgumentParser(description="Run the performance benchmark suites")
     parser.add_argument(

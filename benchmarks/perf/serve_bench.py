@@ -151,33 +151,43 @@ def build_serve_suite(scale: str) -> List[BenchCase]:
     def single_stream_teardown(state):
         state[0].stop()
 
-    def concurrent_setup():
-        from concurrent.futures import ThreadPoolExecutor
+    def make_concurrent_case(name: str, workers: int, max_batch: int) -> BenchCase:
+        def concurrent_setup():
+            from concurrent.futures import ThreadPoolExecutor
 
-        from repro.deploy import Server
+            from repro.deploy import Server
 
-        session, _, images = _frozen_artifact_setup(cfg)
-        server = Server(session, max_batch=cfg["batch"], max_wait_ms=2.0)
-        server.start()
-        pool = ThreadPoolExecutor(max_workers=cfg["clients"])
-        examples = [images[i % len(images)] for i in range(cfg["requests"])]
+            session, _, images = _frozen_artifact_setup(cfg)
+            server = Server(session, max_batch=max_batch, max_wait_ms=2.0, workers=workers)
+            server.start()
+            pool = ThreadPoolExecutor(max_workers=cfg["clients"])
+            examples = [images[i % len(images)] for i in range(cfg["requests"])]
 
-        def burst():
-            return list(pool.map(server.predict, examples))
+            def burst():
+                return list(pool.map(server.predict, examples))
 
-        return burst, server, pool
+            return burst, server, pool
 
-    def concurrent_fn(state):
-        return state[0]()
+        def concurrent_fn(state):
+            return state[0]()
 
-    def concurrent_teardown(state):
-        _, server, pool = state
-        pool.shutdown(wait=True)
-        server.stop()
+        def concurrent_teardown(state):
+            _, server, pool = state
+            pool.shutdown(wait=True)
+            server.stop()
 
+        return BenchCase(name, concurrent_setup, concurrent_fn,
+                         float(cfg["requests"]), "request", teardown=concurrent_teardown)
+
+    # The w1/w4 pair uses small micro-batches plus a real wait window — the
+    # regime where extra workers overlap one worker's batching window with
+    # another's compute.  Identical knobs except the worker count, so the
+    # pair isolates multi-worker scaling (flat on a single-core host).
+    micro_batch = max(2, cfg["batch"] // 8)
     return [
         BenchCase("server_single_stream", single_stream_setup, single_stream_fn,
                   1.0, "request", teardown=single_stream_teardown),
-        BenchCase("server_concurrent_burst", concurrent_setup, concurrent_fn,
-                  float(cfg["requests"]), "request", teardown=concurrent_teardown),
+        make_concurrent_case("server_concurrent_burst", 1, cfg["batch"]),
+        make_concurrent_case("server_microbatch_w1", 1, micro_batch),
+        make_concurrent_case("server_microbatch_w4", 4, micro_batch),
     ]

@@ -30,9 +30,27 @@ def _run_target(target: float):
     train_loader, test_loader = cifar_loaders()
     seed_everything(4)
     model = fresh_pretrained("resnet20", "cifar")
+    # Quick-scale calibration (same phenomenon the table-2/3 CSQ rows hit):
+    # at synthetic-data scale the exponential beta schedule can saturate the
+    # mask gates while the budget is still above target, freezing over-pruned
+    # layers at 0 bits before the budget-aware dS correction can grow them
+    # back.  Slower mask dynamics — mask_lr_scale 0.25, beta_max 100 (vs the
+    # 0.5/200 defaults) — plus 8 extra epochs keep every layer >= 1 bit at
+    # every target while preserving the figure's monotone-average and
+    # rank-correlation structure.  Validated across all four targets after
+    # the PR-3 compute-runtime change shifted training trajectories (blocked
+    # GEMMs and the transposed-conv backward are allclose- but not
+    # bitwise-equal to the old kernels, and these quick runs sit close to
+    # pruning boundaries).  Full scale keeps the paper-shaped schedule: the
+    # retune compensates for the quick stand-in, not the method.
+    quick = scale.epochs <= 6
     config = CSQConfig(
-        epochs=scale.sweep_epochs, target_bits=target, base_strength=0.01,
-        lr=0.05, rep_lr_scale=4.0, mask_lr_scale=0.5, weight_decay=0.0, act_bits=3,
+        epochs=scale.sweep_epochs + (8 if quick else 0),
+        target_bits=target, base_strength=0.01,
+        lr=0.05, rep_lr_scale=4.0,
+        mask_lr_scale=0.25 if quick else 0.5,
+        beta_max=100.0 if quick else 200.0,
+        weight_decay=0.0, act_bits=3,
     )
     trainer = CSQTrainer(model, train_loader, test_loader, config)
     trainer.train()

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from typing import Dict, Tuple
 
@@ -52,9 +53,12 @@ def main(argv=None) -> int:
     print(f"| suite/case | {base_label} mean | {cand_label} mean | speedup | verdict |")
     print("|---|---:|---:|---:|:--|")
     regressions = []
+    speedups = []
     for key in shared:
         b, c = base[key], cand[key]
         speedup = b["mean_s"] / c["mean_s"] if c["mean_s"] > 0 else float("inf")
+        if math.isfinite(speedup) and speedup > 0:
+            speedups.append(speedup)
         rel_change = abs(speedup - 1.0)
         if rel_change <= args.noise_threshold:
             verdict = "~ unchanged"
@@ -76,6 +80,10 @@ def main(argv=None) -> int:
         print(f"| {key[0]}/{key[1]} | {base[key]['mean_s'] * 1e3:.3f} ms | — | — | base only |")
     for key in only_cand:
         print(f"| {key[0]}/{key[1]} | — | {cand[key]['mean_s'] * 1e3:.3f} ms | — | candidate only |")
+
+    if speedups:
+        geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+        print(f"\nGeometric-mean speedup over {len(speedups)} shared case(s): {geomean:.2f}x")
 
     if regressions:
         print(file=sys.stderr)

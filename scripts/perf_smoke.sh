@@ -11,11 +11,14 @@
 # The committed baseline stores both quick- and tiny-scale sections; this
 # script compares against the tiny section (BENCH_perf_tiny.json alongside
 # the quick-scale BENCH_perf.json).  Refresh baselines after intentional
-# perf changes with:
-#   PYTHONPATH=src python -m benchmarks.perf.run --suite all --label baseline
-#   PYTHONPATH=src python -m benchmarks.perf.run --suite ops --suite csq \
-#       --suite infer --scale tiny --label baseline-tiny \
-#       --warmup 3 --iters 21 --output BENCH_perf_tiny.json
+# perf changes with (REPRO_NUM_THREADS=1 keeps them comparable to this
+# gate, which pins one compute thread):
+#   REPRO_NUM_THREADS=1 PYTHONPATH=src python -m benchmarks.perf.run \
+#       --suite all --label baseline
+#   REPRO_NUM_THREADS=1 PYTHONPATH=src python -m benchmarks.perf.run \
+#       --suite ops --suite csq --suite infer --scale tiny \
+#       --label baseline-tiny --warmup 3 --iters 21 \
+#       --output BENCH_perf_tiny.json
 # (The tiny baseline uses more iterations than the smoke run: sub-ms cases
 # on the shared host throw occasional 5x outlier samples, and a 7-sample
 # mean polluted by one would silently loosen this gate.)
@@ -37,8 +40,37 @@ if [[ ! -f "$BASELINE" ]]; then
     exit 2
 fi
 
-PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m benchmarks.perf.run \
+# The regression gate is pinned to one compute thread: the committed tiny
+# baseline was recorded at REPRO_NUM_THREADS=1, and comparing timings taken
+# at different thread counts would make the gate meaningless.
+REPRO_NUM_THREADS=1 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m benchmarks.perf.run \
     --suite ops --suite csq --suite infer --scale tiny --warmup 2 --iters 7 \
     --label smoke --output "$CANDIDATE"
 
 python scripts/perf_compare.py "$BASELINE" "$CANDIDATE" --fail-threshold "$THRESHOLD"
+
+# Two-thread sanity: the sharded kernels must produce bitwise-identical
+# forward/backward results with the pool engaged (not timed, not gated).
+echo "Running 2-thread parity sanity check..."
+REPRO_NUM_THREADS=2 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python - <<'EOF'
+import numpy as np
+from repro import runtime
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+
+assert runtime.num_threads() == 2, runtime.num_threads()
+rng = np.random.default_rng(0)
+x_data = rng.standard_normal((8, 6, 10, 10)).astype(np.float32)
+w_data = rng.standard_normal((12, 6, 3, 3)).astype(np.float32)
+results = {}
+for threads in (1, 2):
+    with runtime.thread_scope(threads):
+        x = Tensor(x_data, requires_grad=True)
+        w = Tensor(w_data, requires_grad=True)
+        out = ops.conv2d(x, w, stride=1, padding=1)
+        out.sum().backward()
+        results[threads] = (out.data.copy(), x.grad.copy(), w.grad.copy())
+for got, want in zip(results[2], results[1]):
+    assert np.array_equal(got, want), "multi-thread conv results diverged"
+print("2-thread conv fwd/bwd parity: bitwise equal")
+EOF

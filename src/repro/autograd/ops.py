@@ -17,13 +17,14 @@ The operations cover what the reproduction needs:
 
 from __future__ import annotations
 
-import threading
 from functools import lru_cache
 from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.autograd.tensor import ArrayLike, Tensor, ensure_tensor, unbroadcast
+from repro.runtime.arena import BufferArena, default_arena
+from repro.runtime.threadpool import parallel_apply, parallel_gemm
 
 # ---------------------------------------------------------------------------
 # Elementwise arithmetic
@@ -503,50 +504,40 @@ def softmax(x: ArrayLike, axis: int = -1) -> Tensor:
 # Convolution / pooling (im2col)
 # ---------------------------------------------------------------------------
 #
-# The forward gather is a zero-copy ``as_strided`` view over the padded
-# input: the only data movement is the single reshape into GEMM layout.
-# The backward scatter (``col2im``) loops over the kernel_h * kernel_w
-# offsets and accumulates strided slices — each iteration is one vectorized
-# add over the whole batch, which beats ``np.add.at`` fancy-index
-# scatter by an order of magnitude for typical 3x3 kernels.
+# The forward gather copies one strided slice per kernel offset into an
+# arena-pooled column buffer — kernel_h * kernel_w large vectorized copies,
+# which beats both ``np.add.at`` fancy indexing and a single reshape-copy of
+# an ``as_strided`` 6-D patch view (the 6-D iterator degrades to tiny inner
+# runs; the per-offset slices keep NumPy's 4-D copy loops hot).  The gather
+# is sharded across the runtime thread pool; shards write disjoint slices,
+# so results are bitwise identical at any thread count.
+#
+# Conv backward-data can run as a *transposed convolution*: the incoming
+# gradient is (fractionally-strided) dilated, gathered with the same fast
+# im2col, and hit with one GEMM against the flipped/transposed weight
+# matrix.  Whether that beats the per-offset ``col2im`` slice scatter
+# depends on the shape (the gather moves C_out-proportional bytes, the
+# scatter C_in * out-area-proportional ones), so
+# :func:`conv2d_backward_data` selects per layer; ``col2im`` also remains
+# the pooling scatter and the only path for exotic geometries.
 #
 # Column convention: rows are ``(channel, kh, kw)`` (row-major), columns are
 # ``(batch, out_h, out_w)`` (row-major).
 
 
-class _ScratchBuffers(threading.local):
-    """Per-thread reusable padding buffers, keyed by (shape, dtype)."""
+def _pad_nchw(
+    x: np.ndarray, padding: int, arena: Optional[BufferArena] = None
+) -> np.ndarray:
+    """Zero-pad the spatial dims into an arena-pooled buffer.
 
-    def __init__(self) -> None:
-        self.buffers: dict = {}
-
-
-_scratch = _ScratchBuffers()
-
-
-def _padded_scratch(shape: Tuple[int, ...], dtype) -> np.ndarray:
-    key = (shape, np.dtype(dtype).str)
-    buf = _scratch.buffers.pop(key, None)
-    if buf is None:
-        buf = np.empty(shape, dtype=dtype)
-        if len(_scratch.buffers) > 64:  # LRU-evict the coldest shape
-            _scratch.buffers.pop(next(iter(_scratch.buffers)))
-    # Re-insert at the back so dict order tracks recency of use.
-    _scratch.buffers[key] = buf
-    return buf
-
-
-def _pad_nchw(x: np.ndarray, padding: int) -> np.ndarray:
-    """Zero-pad the spatial dims into a reusable scratch buffer.
-
-    The returned array is only valid until the next ``_pad_nchw`` call with
-    the same shape/dtype; callers must copy anything they keep (``im2col``'s
-    reshape into GEMM layout is that copy).
+    Returns ``x`` itself when ``padding == 0``.  Otherwise the caller owns
+    the returned buffer and should ``arena.release`` it once consumed.
     """
     if padding == 0:
         return x
+    arena = arena or default_arena()
     batch, channels, height, width = x.shape
-    buf = _padded_scratch(
+    buf = arena.empty(
         (batch, channels, height + 2 * padding, width + 2 * padding), x.dtype
     )
     buf[:, :, :padding, :] = 0.0
@@ -571,21 +562,68 @@ def _patch_view(padded: np.ndarray, kernel_h: int, kernel_w: int, stride: int) -
     )
 
 
-def im2col(x: np.ndarray, kernel_h: int, kernel_w: int, stride: int, padding: int) -> np.ndarray:
+#: Below this many gathered elements a single 6-D strided-view copy beats the
+#: per-offset slice loop: the loop's kh*kw Python-level copies cost ~2 us
+#: each, which dominates small problems (batch-1 serving), while the 6-D
+#: iterator's tiny inner runs dominate large ones.  Both paths move the
+#: identical bytes, so the shape-based switch cannot affect results.
+_SMALL_GATHER_ELEMENTS = 1 << 15
+
+
+def im2col(
+    x: np.ndarray,
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    padding: int,
+    arena: Optional[BufferArena] = None,
+) -> np.ndarray:
     """Rearrange NCHW image patches into columns of shape (C*kh*kw, N*out_h*out_w).
 
-    Columns are ordered ``(batch, out_h, out_w)`` row-major.  Always returns
-    an owned array: callers stash the result for the backward pass, so it
-    must not alias the reusable padding scratch buffer (or the input, for
-    degenerate 1x1 geometries where the patch view is already flat).
+    Columns are ordered ``(batch, out_h, out_w)`` row-major.  The result is
+    backed by a block acquired from ``arena`` (default: the process arena)
+    whose ownership transfers to the caller: internal call sites release it
+    once the backward pass has consumed it, external callers may simply let
+    it be garbage-collected.  The result never aliases ``x``.
     """
-    padded = _pad_nchw(x, padding)
-    view = _patch_view(padded, kernel_h, kernel_w, stride)
-    channels = x.shape[1]
-    cols = view.reshape(channels * kernel_h * kernel_w, -1)
-    if cols.base is not None:
-        cols = cols.copy()
-    return cols
+    arena = arena or default_arena()
+    padded = _pad_nchw(x, padding, arena)
+    batch, channels, height, width = padded.shape
+    out_h = (height - kernel_h) // stride + 1
+    out_w = (width - kernel_w) // stride + 1
+    cols6 = arena.empty((channels, kernel_h, kernel_w, batch, out_h, out_w), x.dtype)
+
+    if cols6.size <= _SMALL_GATHER_ELEMENTS:
+        np.copyto(cols6, _patch_view(padded, kernel_h, kernel_w, stride))
+        if padded is not x:
+            arena.release(padded)
+        return cols6.reshape(channels * kernel_h * kernel_w, batch * out_h * out_w)
+
+    src = padded.transpose(1, 0, 2, 3)  # (C, N, H, W) view
+    if channels >= batch:
+        def gather(lo: int, hi: int) -> None:
+            for di in range(kernel_h):
+                row = slice(di, di + stride * out_h, stride)
+                for dj in range(kernel_w):
+                    np.copyto(
+                        cols6[lo:hi, di, dj],
+                        src[lo:hi, :, row, dj:dj + stride * out_w:stride],
+                    )
+        parallel_apply(gather, channels)
+    else:
+        def gather(lo: int, hi: int) -> None:
+            for di in range(kernel_h):
+                row = slice(di, di + stride * out_h, stride)
+                for dj in range(kernel_w):
+                    np.copyto(
+                        cols6[:, di, dj, lo:hi],
+                        src[:, lo:hi, row, dj:dj + stride * out_w:stride],
+                    )
+        parallel_apply(gather, batch)
+
+    if padded is not x:
+        arena.release(padded)
+    return cols6.reshape(channels * kernel_h * kernel_w, batch * out_h * out_w)
 
 
 def col2im(
@@ -612,6 +650,98 @@ def col2im(
     if padding:
         padded = padded[:, :, padding:padding + height, padding:padding + width]
     return padded.transpose(1, 0, 2, 3)
+
+
+def conv2d_backward_data(
+    grad: np.ndarray,
+    weight: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    stride: int,
+    padding: int,
+    arena: Optional[BufferArena] = None,
+    algo: Optional[str] = None,
+    grad_flat: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Gradient of ``conv2d`` w.r.t. its input.
+
+    Two algorithms, selected by operand shape (``algo=None``):
+
+    * ``"transposed"`` — the output gradient is placed on a fractionally-
+      strided (zero-dilated) grid, gathered with :func:`im2col` at stride 1,
+      and multiplied by the spatially-flipped, channel-transposed weight
+      matrix: one gather plus one GEMM, no scatter.  Its data movement
+      scales with ``C_out`` (it gathers the *gradient*), so it wins for the
+      contracting/equal-width convolutions that dominate deep networks.
+    * ``"col2im"`` — small-K GEMM followed by the per-offset slice scatter.
+      Its movement scales with ``C_in * out_h * out_w``, so it wins for
+      expanding (``C_out > C_in``) and strided convolutions, and is the only
+      path for exotic geometries (``padding > kernel - 1``, non-square
+      kernels).
+
+    The choice depends only on shapes — never on thread count — keeping
+    results bitwise reproducible at any ``REPRO_NUM_THREADS``.
+
+    ``grad_flat`` may pass an already-packed ``(C_out, N*oh*ow)`` view of
+    ``grad`` (channel-major) so the col2im path avoids re-packing it.
+    """
+    arena = arena or default_arena()
+    batch, in_channels, height, width = x_shape
+    out_channels, _, kernel_h, kernel_w = weight.shape
+    out_h, out_w = grad.shape[2], grad.shape[3]
+
+    transposed_ok = (
+        kernel_h == kernel_w and padding <= kernel_h - 1
+    )
+    if algo is None:
+        use_transposed = (
+            transposed_ok and stride == 1 and kernel_h > 1 and out_channels <= in_channels
+        )
+        algo = "transposed" if use_transposed else "col2im"
+    elif algo == "transposed" and not transposed_ok:
+        raise ValueError(
+            f"transposed backward-data needs a square kernel with padding <= kernel - 1, "
+            f"got kernel=({kernel_h},{kernel_w}), padding={padding}"
+        )
+    elif algo not in ("transposed", "col2im"):
+        raise ValueError(f"algo must be 'transposed', 'col2im' or None, got {algo!r}")
+
+    if algo == "col2im":
+        if grad_flat is None:
+            grad_flat = grad.transpose(1, 0, 2, 3).reshape(out_channels, -1)
+        w_t = weight.reshape(out_channels, -1).T
+        grad_cols = arena.empty((w_t.shape[0], grad_flat.shape[1]),
+                                np.result_type(w_t.dtype, grad_flat.dtype))
+        parallel_gemm(w_t, grad_flat, out=grad_cols)
+        grad_x = col2im(grad_cols, x_shape, kernel_h, kernel_w, stride, padding)
+        arena.release(grad_cols)
+        return grad_x
+
+    if stride == 1:
+        # oh + 2*(k-1-p) - k + 1 == H exactly, so the plain padded gather works.
+        grad_cols = im2col(grad, kernel_h, kernel_w, 1, kernel_h - 1 - padding, arena)
+    else:
+        # Fractional stride: scatter grad onto a zero grid with s-1 zeros
+        # between elements (plus the k-1-p border), then gather at stride 1.
+        left = kernel_h - 1 - padding
+        dilated = arena.zeros(
+            (batch, out_channels, height + kernel_h - 1, width + kernel_w - 1), grad.dtype
+        )
+        dilated[
+            :, :, left:left + stride * out_h:stride, left:left + stride * out_w:stride
+        ] = grad
+        grad_cols = im2col(dilated, kernel_h, kernel_w, 1, 0, arena)
+        arena.release(dilated)
+
+    # Rows of grad_cols are ordered (out_channel, kh, kw); the matching
+    # weight matrix is the 180°-rotated kernel with in/out channels swapped.
+    w_rot = weight[:, :, ::-1, ::-1].transpose(1, 0, 2, 3).reshape(in_channels, -1)
+    grad_x = np.empty(
+        (in_channels, batch * height * width),
+        dtype=np.result_type(w_rot.dtype, grad_cols.dtype),
+    )
+    parallel_gemm(w_rot, grad_cols, out=grad_x)
+    arena.release(grad_cols)
+    return grad_x.reshape(in_channels, batch, height, width).transpose(1, 0, 2, 3)
 
 
 def conv2d(
@@ -647,26 +777,56 @@ def conv2d(
     out_h = (height + 2 * padding - kernel_h) // stride + 1
     out_w = (width + 2 * padding - kernel_w) // stride + 1
 
-    cols = im2col(x.data, kernel_h, kernel_w, stride, padding)
+    arena = default_arena()
+    cols = im2col(x.data, kernel_h, kernel_w, stride, padding, arena)
     w_mat = weight.data.reshape(out_channels, -1)
-    out = w_mat @ cols
-    out = out.reshape(out_channels, batch, out_h, out_w).transpose(1, 0, 2, 3)
+    gemm_out = np.empty(
+        (out_channels, cols.shape[1]), dtype=np.result_type(w_mat.dtype, cols.dtype)
+    )
+    parallel_gemm(w_mat, cols, out=gemm_out)
+    out = gemm_out.reshape(out_channels, batch, out_h, out_w).transpose(1, 0, 2, 3)
     if bias_t is not None:
         out = out + bias_t.data.reshape(1, out_channels, 1, 1)
 
     parents = (x, weight) if bias_t is None else (x, weight, bias_t)
 
     def backward(grad: np.ndarray):
-        grad_flat = grad.transpose(1, 0, 2, 3).reshape(out_channels, -1)
-        grad_weight = (grad_flat @ cols.T).reshape(weight.shape)
-        grad_cols = w_mat.T @ grad_flat
-        grad_x = col2im(grad_cols, x.shape, kernel_h, kernel_w, stride, padding)
+        nonlocal cols
+        if cols is None:
+            raise RuntimeError(
+                "conv2d backward called twice on the same graph: the saved "
+                "column buffer was released to the arena after the first call"
+            )
+        # Pack grad into (C_out, N*oh*ow) GEMM layout via an arena scratch.
+        grad_flat = arena.empty((out_channels, batch * out_h * out_w), grad.dtype)
+        np.copyto(
+            grad_flat.reshape(out_channels, batch, out_h, out_w),
+            grad.transpose(1, 0, 2, 3),
+        )
+        grad_weight = np.empty(
+            (out_channels, cols.shape[0]), dtype=np.result_type(grad_flat.dtype, cols.dtype)
+        )
+        # Row sharding keeps each weight-gradient element one full-length
+        # reduction, preserving bitwise determinism across thread counts.
+        parallel_gemm(grad_flat, cols.T, out=grad_weight, shard="rows")
+        grad_weight = grad_weight.reshape(weight.shape)
+        arena.release(cols)
+        cols = None  # the columns are dead; a second backward call is a bug
+        grad_x = conv2d_backward_data(
+            grad, weight.data, x.shape, stride, padding, arena, grad_flat=grad_flat
+        )
+        arena.release(grad_flat)
         if bias_t is None:
             return grad_x, grad_weight
         grad_bias = grad.sum(axis=(0, 2, 3))
         return grad_x, grad_weight, grad_bias
 
-    return Tensor._from_op(out.astype(x.dtype, copy=False), parents, backward, "conv2d")
+    tensor = Tensor._from_op(out.astype(x.dtype, copy=False), parents, backward, "conv2d")
+    if not tensor.requires_grad:
+        # Inference path: the backward closure was discarded, so the column
+        # buffer can return to the arena immediately.
+        arena.release(cols)
+    return tensor
 
 
 def max_pool2d(x: ArrayLike, kernel_size: int, stride: Optional[int] = None) -> Tensor:
@@ -677,18 +837,25 @@ def max_pool2d(x: ArrayLike, kernel_size: int, stride: Optional[int] = None) -> 
     out_h = (height - kernel_size) // stride + 1
     out_w = (width - kernel_size) // stride + 1
 
+    arena = default_arena()
     reshaped = x.data.reshape(batch * channels, 1, height, width)
-    cols = im2col(reshaped, kernel_size, kernel_size, stride, 0)
+    cols = im2col(reshaped, kernel_size, kernel_size, stride, 0, arena)
     argmax = cols.argmax(axis=0)
     out = cols[argmax, np.arange(cols.shape[1])]
     out = out.reshape(batch, channels, out_h, out_w)
+    cols_shape, cols_dtype = cols.shape, cols.dtype
+    # Only the argmax indices are needed for backward; the columns themselves
+    # can return to the arena right away.
+    arena.release(cols)
+    del cols
 
     def backward(grad: np.ndarray):
-        grad_cols = np.zeros_like(cols)
-        grad_cols[argmax, np.arange(cols.shape[1])] = grad.reshape(-1)
+        grad_cols = arena.zeros(cols_shape, cols_dtype)
+        grad_cols[argmax, np.arange(cols_shape[1])] = grad.reshape(-1)
         grad_x = col2im(
             grad_cols, (batch * channels, 1, height, width), kernel_size, kernel_size, stride, 0
         )
+        arena.release(grad_cols)
         return (grad_x.reshape(x.shape),)
 
     return Tensor._from_op(out, (x,), backward, "max_pool2d")
@@ -702,11 +869,14 @@ def avg_pool2d(x: ArrayLike, kernel_size: int, stride: Optional[int] = None) -> 
     out_h = (height - kernel_size) // stride + 1
     out_w = (width - kernel_size) // stride + 1
 
+    arena = default_arena()
     reshaped = x.data.reshape(batch * channels, 1, height, width)
-    cols = im2col(reshaped, kernel_size, kernel_size, stride, 0)
+    cols = im2col(reshaped, kernel_size, kernel_size, stride, 0, arena)
     out = cols.mean(axis=0)
     out = out.reshape(batch, channels, out_h, out_w)
     window = kernel_size * kernel_size
+    arena.release(cols)
+    del cols
 
     def backward(grad: np.ndarray):
         grad_flat = grad.reshape(-1) / window
@@ -729,11 +899,18 @@ def fake_quantize(x: ArrayLike, scale: float, levels: int, low: float, high: flo
 
     One kernel replacing the clip → div → mul → ste_round → div → mul chain:
     the constant rescalings cancel in the backward pass, so the exact STE
-    gradient is ``grad`` masked to the clip range.
+    gradient is ``grad`` masked to the clip range.  The normalize/round
+    intermediate lives in one arena scratch buffer.
     """
     x = ensure_tensor(x)
-    normalized = np.clip(x.data * (1.0 / scale), low, high)
-    out = np.round(normalized * levels) * (scale / levels)
+    arena = default_arena()
+    scratch = arena.empty(x.shape, x.dtype)
+    np.multiply(x.data, 1.0 / scale, out=scratch)
+    np.clip(scratch, low, high, out=scratch)
+    np.multiply(scratch, levels, out=scratch)
+    np.round(scratch, out=scratch)
+    out = scratch * (scale / levels)
+    arena.release(scratch)
 
     def backward(grad: np.ndarray):
         mask = (x.data >= low * scale) & (x.data <= high * scale)
@@ -768,28 +945,52 @@ def batch_norm(
     weight_t = ensure_tensor(weight) if weight is not None else None
     bias_t = ensure_tensor(bias) if bias is not None else None
 
+    arena = default_arena()
+    # Layout-matched scratch (not plain .empty): the variance and the
+    # backward sums reduce over these intermediates, and NumPy's pairwise
+    # summation order follows their strides — see BufferArena.empty_like.
+    centered = arena.empty_like(x.data)
     use_batch_stats = mean is None
     if use_batch_stats:
         mu = x.data.mean(axis=axes, keepdims=True)
-        centered = x.data - mu
-        variance = np.mean(centered * centered, axis=axes, keepdims=True)
+        np.subtract(x.data, mu, out=centered)
+        squared = arena.empty_like(x.data)
+        np.multiply(centered, centered, out=squared)
+        variance = np.mean(squared, axis=axes, keepdims=True)
+        arena.release(squared)
     else:
         mu = np.asarray(mean, dtype=x.dtype)
         variance = np.asarray(var, dtype=x.dtype)
-        centered = x.data - mu
+        np.subtract(x.data, mu, out=centered)
     inv_std = 1.0 / np.sqrt(variance + eps)
-    xhat = centered * inv_std
 
     param_shape = tuple(1 if i in axes else x.shape[i] for i in range(x.ndim))
     if weight_t is not None:
+        # xhat is pure backward state here, so it can live in the arena; the
+        # affine output below is a fresh (escaping) array.
+        xhat = arena.empty_like(x.data)
+        np.multiply(centered, inv_std, out=xhat)
+        arena.release(centered)
         out = xhat * weight_t.data.reshape(param_shape) + bias_t.data.reshape(param_shape)
         parents: Tuple[Tensor, ...] = (x, weight_t, bias_t)
     else:
+        # Without affine parameters the output *is* xhat — it escapes into
+        # the graph, so it must own its memory (no arena).
+        xhat = centered * inv_std
+        arena.release(centered)
         out = xhat
         parents = (x,)
+    del centered
     count = int(np.prod([x.shape[a] for a in axes]))
 
     def backward(grad: np.ndarray):
+        nonlocal xhat
+        if xhat is None:
+            raise RuntimeError(
+                "batch_norm backward called twice on the same graph: the saved "
+                "normalized activations were released to the arena after the "
+                "first call"
+            )
         if weight_t is not None:
             grad_weight = (grad * xhat).sum(axis=axes).reshape(weight_t.shape)
             grad_bias = grad.sum(axis=axes).reshape(bias_t.shape)
@@ -803,10 +1004,14 @@ def batch_norm(
         else:
             grad_x = grad_xhat * inv_std
         if weight_t is not None:
+            arena.release(xhat)
+            xhat = None  # consumed; a second backward call is a bug
             return grad_x, grad_weight, grad_bias
         return (grad_x,)
 
     tensor = Tensor._from_op(out.astype(x.dtype, copy=False), parents, backward, "batch_norm")
+    if not tensor.requires_grad and weight_t is not None:
+        arena.release(xhat)
     return tensor, mu, variance
 
 
@@ -863,13 +1068,28 @@ def csq_reconstruct(
     num_bits = m_p.shape[0]
     levels = float(2 ** num_bits - 1)
     pow2 = _pow2_weights(num_bits)
+    arena = default_arena()
+
+    def _sigmoid_into(m: np.ndarray, temperature: float) -> np.ndarray:
+        """Arena-backed stable sigmoid of ``temperature * m``."""
+        gate = arena.empty(m.shape, m.dtype)
+        expo = arena.empty(m.shape, m.dtype)
+        np.abs(m, out=expo)
+        expo *= -temperature
+        np.exp(expo, out=expo)  # exp(-|t*m|)
+        np.add(expo, 1.0, out=gate)
+        np.reciprocal(gate, out=gate)  # 1 / (1 + exp(-|t*m|))
+        np.multiply(expo, gate, out=expo)  # the m < 0 branch
+        np.copyto(gate, expo, where=m < 0.0)
+        arena.release(expo)
+        return gate
 
     if hard_values:
         gate_p = (m_p.data >= 0.0).astype(np.float32)
         gate_n = (m_n.data >= 0.0).astype(np.float32)
     else:
-        gate_p = _stable_sigmoid(beta * m_p.data)
-        gate_n = _stable_sigmoid(beta * m_n.data)
+        gate_p = _sigmoid_into(m_p.data, beta)
+        gate_n = _sigmoid_into(m_n.data, beta)
 
     if mask_t is None:
         gate_b = None
@@ -881,13 +1101,20 @@ def csq_reconstruct(
         gate_b = _stable_sigmoid(beta_mask * mask_t.data)
         coeff = pow2 * gate_b
 
-    diff = gate_p - gate_n
+    diff = arena.empty(gate_p.shape, np.result_type(gate_p.dtype, gate_n.dtype))
+    np.subtract(gate_p, gate_n, out=diff)
     accumulated = np.tensordot(coeff, diff, axes=(0, 0))
     scale_over_levels = scale.data / levels
     out = accumulated * scale_over_levels
 
     parents = (m_p, m_n, scale) if mask_t is None else (m_p, m_n, scale, mask_t)
     bit_broadcast = (num_bits,) + (1,) * accumulated.ndim
+
+    def _release_state():
+        if not hard_values:
+            arena.release(gate_p)
+            arena.release(gate_n)
+        arena.release(diff)
 
     def backward(grad: np.ndarray):
         grad_acc = grad * scale_over_levels
@@ -899,19 +1126,37 @@ def csq_reconstruct(
             grad_m_p = grad_m_n = None
         else:
             # d out / d diff[b] = grad_acc * coeff[b]; chain through the
-            # sigmoid Jacobian beta * g * (1 - g) per stacked gate.
-            grad_diff = coeff.reshape(bit_broadcast) * grad_acc[None]
-            grad_m_p = grad_diff * (beta * gate_p * (1.0 - gate_p))
-            grad_m_n = -grad_diff * (beta * gate_n * (1.0 - gate_n))
+            # sigmoid Jacobian beta * g * (1 - g) per stacked gate.  The
+            # Jacobians are built in one arena scratch; the returned grads
+            # must own their memory (they become leaf ``.grad`` buffers).
+            grad_diff = arena.empty(gate_p.shape, np.result_type(coeff.dtype, grad_acc.dtype))
+            np.multiply(coeff.reshape(bit_broadcast), grad_acc[None], out=grad_diff)
+            jac = arena.empty(gate_p.shape, gate_p.dtype)
+            np.subtract(1.0, gate_p, out=jac)
+            np.multiply(jac, gate_p, out=jac)
+            jac *= beta
+            grad_m_p = grad_diff * jac
+            np.subtract(1.0, gate_n, out=jac)
+            np.multiply(jac, gate_n, out=jac)
+            jac *= -beta
+            grad_m_n = grad_diff * jac
+            arena.release(jac)
+            arena.release(grad_diff)
         if mask_t is None:
+            _release_state()
             return grad_m_p, grad_m_n, grad_scale
         if gate_b is None:
+            _release_state()
             return grad_m_p, grad_m_n, grad_scale, None
         grad_coeff = diff.reshape(num_bits, -1) @ grad_acc.reshape(-1)
         grad_m_b = (pow2 * grad_coeff) * (beta_mask * gate_b * (1.0 - gate_b))
+        _release_state()
         return grad_m_p, grad_m_n, grad_scale, grad_m_b
 
-    return Tensor._from_op(out, parents, backward, "csq_reconstruct")
+    tensor = Tensor._from_op(out, parents, backward, "csq_reconstruct")
+    if not tensor.requires_grad:
+        _release_state()
+    return tensor
 
 
 def adaptive_avg_pool2d(x: ArrayLike, output_size: int = 1) -> Tensor:

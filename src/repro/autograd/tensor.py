@@ -241,11 +241,18 @@ class Tensor:
         order = self._topological_order()
         grads: dict[int, np.ndarray] = {id(self): grad}
         adopted: set[int] = set()
+        # ids of arrays this backward pass created itself (accumulation sums
+        # and the seed grad).  Only those may be mutated in place; everything
+        # else may be a view or an array an op handed to several parents.
+        # Entries are dropped when their array leaves the ``grads`` dict so
+        # a recycled id can never be mistaken for an owned buffer.
+        owned: set[int] = {id(grad)}
 
         for node in order:
             node_grad = grads.pop(id(node), None)
             if node_grad is None:
                 continue
+            owned.discard(id(node_grad))
             if node.requires_grad and (node._backward_fn is None or node._is_leaf()):
                 if node.grad is None:
                     # Adopt the array when we exclusively own it; views (e.g.
@@ -274,8 +281,23 @@ class Tensor:
                 existing = grads.get(id(parent))
                 if existing is None:
                     grads[id(parent)] = parent_grad
+                elif (
+                    id(existing) in owned
+                    # 0-d results of `a + b` are immutable numpy scalars, not
+                    # arrays: `+=` would silently rebind a local instead of
+                    # accumulating into the stored buffer.
+                    and isinstance(existing, np.ndarray)
+                    and existing.dtype == parent_grad.dtype
+                    and existing.shape == parent_grad.shape
+                ):
+                    # Accumulate into the engine-owned sum buffer instead of
+                    # allocating a fresh array per contribution (residual
+                    # networks route many branches into the same tensor).
+                    existing += parent_grad
                 else:
-                    grads[id(parent)] = existing + parent_grad
+                    accumulated = existing + parent_grad
+                    grads[id(parent)] = accumulated
+                    owned.add(id(accumulated))
 
     def _is_leaf(self) -> bool:
         return self._backward_fn is None

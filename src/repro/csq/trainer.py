@@ -37,7 +37,7 @@ from repro.nn.module import Module
 from repro.optim.lr_scheduler import WarmupCosine
 from repro.optim.sgd import SGD
 from repro.quant.scheme import QuantizationScheme
-from repro.training.loop import TrainingHistory, evaluate
+from repro.training.loop import TrainingHistory, evaluate, iter_batches
 
 
 @dataclass
@@ -201,7 +201,7 @@ class CSQTrainer:
         self.model.train()
         losses: List[float] = []
         accuracies: List[float] = []
-        for images, labels in self.train_loader:
+        for images, labels in iter_batches(self.train_loader, prefetch=True):
             logits = self.model(Tensor(images))
             loss = F.cross_entropy(logits, labels)
             if use_regularizer and self.regularizer is not None:

@@ -9,7 +9,7 @@ per-channel normalization).
 """
 
 from repro.data.dataset import Dataset, TensorDataset, Subset
-from repro.data.dataloader import DataLoader
+from repro.data.dataloader import DataLoader, prefetch_batches
 from repro.data.transforms import (
     Compose,
     Normalize,
@@ -29,6 +29,7 @@ __all__ = [
     "TensorDataset",
     "Subset",
     "DataLoader",
+    "prefetch_batches",
     "Compose",
     "Normalize",
     "RandomCrop",

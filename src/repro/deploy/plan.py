@@ -28,9 +28,11 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from repro.autograd.ops import _pad_nchw, _patch_view, im2col
+from repro.autograd.ops import im2col
 from repro.deploy.artifact import QuantizedTensorRecord
 from repro.nn.module import Module
+from repro.runtime.arena import BufferArena
+from repro.runtime.threadpool import parallel_gemm
 
 
 class PlanError(ValueError):
@@ -63,12 +65,16 @@ class ConvStep(Step):
     ``shift = (bias - mean) * gamma / sqrt(var + eps) + beta`` when a BN
     layer was folded, or plain dequantization and bias otherwise.
 
-    The im2col column matrix and GEMM output are written into buffers owned
-    by the step and reused across calls (the batch geometry is stable when
-    serving), so the hot path performs no large allocations.  Consequence:
-    a step's output is only valid until its next call — plans are therefore
-    not re-entrant, and :class:`~repro.deploy.session.InferenceSession.run`
-    copies the final logits out.
+    The im2col column matrix is drawn from (and released back to) the
+    plan's shared :class:`~repro.runtime.arena.BufferArena`, so all conv
+    steps of a plan cycle through one column buffer sized by the largest
+    layer; the GEMM output lives in a grow-only store owned by the step
+    (its lifetime crosses the step boundary — the next step reads it).
+    Consequence: a step's output is only valid until its next call — plans
+    are therefore not re-entrant, and
+    :class:`~repro.deploy.session.InferenceSession.run` copies the final
+    logits out.  The GEMM is sharded across the runtime thread pool when
+    ``REPRO_NUM_THREADS`` allows.
     """
 
     def __init__(
@@ -81,6 +87,7 @@ class ConvStep(Step):
         stride: int,
         padding: int,
         relu: bool = False,
+        arena: Optional[BufferArena] = None,
     ) -> None:
         self.name = name
         self.w_mat = np.ascontiguousarray(w_mat, dtype=np.float32)
@@ -91,12 +98,12 @@ class ConvStep(Step):
         self.stride = stride
         self.padding = padding
         self.relu = relu
-        # Flat backing stores sliced per call: a prefix slice of a flat
+        self.arena = arena if arena is not None else BufferArena(f"plan:{name}")
+        # Flat backing store sliced per call: a prefix slice of a flat
         # buffer reshapes to a contiguous (rows, columns) matrix, so varying
         # batch sizes (the Server coalesces 1..max_batch requests per
         # forward) reuse one grow-only allocation instead of re-allocating
         # per geometry.
-        self._cols_store = np.empty(0, dtype=np.float32)
         self._out_store = np.empty(0, dtype=np.float32)
 
     def fold_bn(self, gamma_invstd: np.ndarray, shift: np.ndarray) -> None:
@@ -112,19 +119,14 @@ class ConvStep(Step):
         out_h = (height + 2 * self.padding - k) // stride + 1
         out_w = (width + 2 * self.padding - k) // stride + 1
         columns = batch * out_h * out_w
-        rows = channels * k * k
-        if self._cols_store.size < rows * columns:
-            self._cols_store = np.empty(rows * columns, dtype=np.float32)
+        if self._out_store.size < self.out_channels * columns:
             self._out_store = np.empty(self.out_channels * columns, dtype=np.float32)
-        cols = self._cols_store[: rows * columns].reshape(rows, columns)
         out = self._out_store[: self.out_channels * columns].reshape(self.out_channels, columns)
-        # Gather straight into the reusable column buffer: the 6-D reshape of
-        # the contiguous buffer is a view, so copyto performs the one copy
-        # im2col needs with no intermediate allocation.
-        padded = _pad_nchw(x, self.padding)
-        view = _patch_view(padded, k, k, stride)
-        np.copyto(cols.reshape(view.shape), view)
-        np.matmul(self.w_mat, cols, out=out)
+        # The column matrix is pure scratch within this call: gather, GEMM,
+        # release — every conv step of the plan shares the arena's blocks.
+        cols = im2col(x, k, k, stride, self.padding, self.arena)
+        parallel_gemm(self.w_mat, cols, out=out)
+        self.arena.release(cols)
         out *= self.mult
         if self.shift is not None:
             out += self.shift
@@ -205,10 +207,11 @@ class ReluStep(Step):
 
 
 class MaxPoolStep(Step):
-    def __init__(self, kernel_size: int, stride: int) -> None:
+    def __init__(self, kernel_size: int, stride: int, arena: Optional[BufferArena] = None) -> None:
         self.name = f"maxpool{kernel_size}s{stride}"
         self.kernel_size = kernel_size
         self.stride = stride
+        self.arena = arena if arena is not None else BufferArena(f"plan:{self.name}")
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         k, s = self.kernel_size, self.stride
@@ -217,17 +220,23 @@ class MaxPoolStep(Step):
             # Non-overlapping windows: a reshape and two reductions.
             view = x.reshape(batch, channels, height // k, k, width // k, k)
             return view.max(axis=5).max(axis=3)
-        cols = im2col(x.reshape(batch * channels, 1, height, width), k, k, s, 0)
+        cols = im2col(
+            np.ascontiguousarray(x).reshape(batch * channels, 1, height, width),
+            k, k, s, 0, self.arena,
+        )
         out_h = (height - k) // s + 1
         out_w = (width - k) // s + 1
-        return cols.max(axis=0).reshape(batch, channels, out_h, out_w)
+        out = cols.max(axis=0).reshape(batch, channels, out_h, out_w)
+        self.arena.release(cols)
+        return out
 
 
 class AvgPoolStep(Step):
-    def __init__(self, kernel_size: int, stride: int) -> None:
+    def __init__(self, kernel_size: int, stride: int, arena: Optional[BufferArena] = None) -> None:
         self.name = f"avgpool{kernel_size}s{stride}"
         self.kernel_size = kernel_size
         self.stride = stride
+        self.arena = arena if arena is not None else BufferArena(f"plan:{self.name}")
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         k, s = self.kernel_size, self.stride
@@ -235,10 +244,15 @@ class AvgPoolStep(Step):
         if k == s and height % k == 0 and width % k == 0:
             view = x.reshape(batch, channels, height // k, k, width // k, k)
             return view.mean(axis=(3, 5))
-        cols = im2col(x.reshape(batch * channels, 1, height, width), k, k, s, 0)
+        cols = im2col(
+            np.ascontiguousarray(x).reshape(batch * channels, 1, height, width),
+            k, k, s, 0, self.arena,
+        )
         out_h = (height - k) // s + 1
         out_w = (width - k) // s + 1
-        return cols.mean(axis=0).reshape(batch, channels, out_h, out_w)
+        out = cols.mean(axis=0).reshape(batch, channels, out_h, out_w)
+        self.arena.release(cols)
+        return out
 
 
 class GlobalAvgPoolStep(Step):
@@ -289,15 +303,30 @@ class ResidualStep(Step):
 class PlanBuilder:
     """Accumulates steps while walking a module tree, fusing as it goes."""
 
-    def __init__(self, weights: Dict[int, QuantizedTensorRecord]) -> None:
+    def __init__(
+        self,
+        weights: Dict[int, QuantizedTensorRecord],
+        arena: Optional[BufferArena] = None,
+    ) -> None:
         self.weights = weights
+        self.arena = arena if arena is not None else BufferArena("plan")
         self.steps: List[Step] = []
 
     # -- leaf emitters --------------------------------------------------
     def _conv_record(self, module: Module, name: str):
         record = self.weights.get(id(module))
         if record is not None:
-            w_mat = record.q.astype(np.float32).reshape(record.q.shape[0], -1)
+            # Memoize the float GEMM matrix on the record: plan steps only
+            # read it, so every session cloned from the same artifact (one
+            # per server worker) shares one copy instead of re-materializing
+            # the dequantized weights per worker.
+            w_mat = getattr(record, "_w_mat_f32", None)
+            if w_mat is None:
+                w_mat = np.ascontiguousarray(
+                    record.q.astype(np.float32).reshape(record.q.shape[0], -1)
+                )
+                w_mat.flags.writeable = False
+                record._w_mat_f32 = w_mat
             dequant = record.dequant_factor
             bias = record.bias
         else:
@@ -321,6 +350,7 @@ class PlanBuilder:
                 kernel_size=module.kernel_size,
                 stride=module.stride,
                 padding=module.padding,
+                arena=self.arena,
             )
         )
 
@@ -353,7 +383,7 @@ class PlanBuilder:
 
     # -- composition ----------------------------------------------------
     def subplan(self) -> "PlanBuilder":
-        return PlanBuilder(self.weights)
+        return PlanBuilder(self.weights, arena=self.arena)
 
     def compile(self, module: Module, name: str) -> None:
         """Dispatch one module (leaf or composite) into the step stream."""
@@ -382,13 +412,19 @@ def register_plan_handler(*class_names: str):
     return decorator
 
 
-def compile_plan(model: Module, weights: Dict[int, QuantizedTensorRecord]) -> List[Step]:
+def compile_plan(
+    model: Module,
+    weights: Dict[int, QuantizedTensorRecord],
+    arena: Optional[BufferArena] = None,
+) -> List[Step]:
     """Compile ``model`` (an eval-mode float skeleton) into a flat step list.
 
     ``weights`` maps ``id(module)`` of conv/linear modules to their artifact
     records; modules without a record fall back to their dense float weight.
+    All scratch-hungry steps share ``arena`` (one is created when omitted);
+    callers running plans concurrently should pass per-plan arenas.
     """
-    builder = PlanBuilder(weights)
+    builder = PlanBuilder(weights, arena=arena)
     builder.compile(model, "")
     if not builder.steps:
         raise PlanError(f"Model {type(model).__name__} compiled to an empty plan")
@@ -431,12 +467,12 @@ def _handle_relu(builder: PlanBuilder, module: Module, name: str) -> None:
 
 @register_plan_handler("MaxPool2d")
 def _handle_maxpool(builder: PlanBuilder, module: Module, name: str) -> None:
-    builder.steps.append(MaxPoolStep(module.kernel_size, module.stride))
+    builder.steps.append(MaxPoolStep(module.kernel_size, module.stride, arena=builder.arena))
 
 
 @register_plan_handler("AvgPool2d")
 def _handle_avgpool(builder: PlanBuilder, module: Module, name: str) -> None:
-    builder.steps.append(AvgPoolStep(module.kernel_size, module.stride))
+    builder.steps.append(AvgPoolStep(module.kernel_size, module.stride, arena=builder.arena))
 
 
 @register_plan_handler("AdaptiveAvgPool2d")

@@ -1,11 +1,18 @@
-"""Batched serving engine over an :class:`InferenceSession`.
+"""Batched serving engine over one or more :class:`InferenceSession` workers.
 
 A :class:`Server` accepts single-example requests from any number of client
-threads and executes them on a worker thread with **dynamic micro-batching**:
-the worker drains the request queue, waiting up to ``max_wait_ms`` after the
+threads and executes them on worker threads with **dynamic micro-batching**:
+a worker drains the request queue, waiting up to ``max_wait_ms`` after the
 first request to coalesce up to ``max_batch`` examples into one forward pass
 — the classic latency/throughput trade the GEMM-heavy runtime rewards, since
 a batch-32 forward costs far less than 32 batch-1 forwards.
+
+With ``workers > 1`` the server runs that loop on several threads, each
+owning an independent session (via :meth:`InferenceSession.clone`), all
+competing over one shared request queue.  Sessions release the GIL inside
+their GEMMs, so on multi-core hosts worker batches execute genuinely in
+parallel, and even on one core a worker's batching wait window overlaps
+another worker's compute instead of stalling the whole server.
 
 An optional LRU response cache short-circuits byte-identical requests, and
 the server keeps running latency/throughput statistics (mean/p50/p95 request
@@ -106,13 +113,18 @@ class Server:
     max_batch:
         Largest number of requests fused into one forward pass.
     max_wait_ms:
-        How long the worker waits after the first queued request for more
+        How long a worker waits after the first queued request for more
         requests to coalesce.  0 disables batching delay (latency-optimal);
         a couple of milliseconds already fills batches under load.
     cache_size:
         Number of responses kept in the LRU response cache; 0 disables
         caching.  Keys are the exact request bytes, so only byte-identical
         inputs hit.
+    workers:
+        Number of serving threads.  Each extra worker executes on its own
+        session obtained from ``session.clone()`` (sessions are not
+        re-entrant), so the given session must support ``clone()`` when
+        ``workers > 1``.
     """
 
     _SHUTDOWN = object()
@@ -123,14 +135,23 @@ class Server:
         max_batch: int = 32,
         max_wait_ms: float = 2.0,
         cache_size: int = 0,
+        workers: int = 1,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if max_wait_ms < 0:
             raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if workers > 1 and not callable(getattr(session, "clone", None)):
+            raise ValueError(
+                "workers > 1 needs one session per worker: the given session "
+                "does not provide clone()"
+            )
         self.session = session
         self.max_batch = max_batch
         self.max_wait_s = max_wait_ms / 1e3
+        self.workers = workers
         self.stats = ServerStats()
         self._queue: "Queue[object]" = Queue()
         self._cache: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
@@ -139,7 +160,8 @@ class Server:
         # Guards the running flag together with queue puts, so a submit that
         # passed the running check cannot enqueue after stop() has drained.
         self._lifecycle_lock = threading.Lock()
-        self._worker: Optional[threading.Thread] = None
+        self._threads: List[threading.Thread] = []
+        self._sessions: List[InferenceSession] = [session]
         self._running = False
 
     # ------------------------------------------------------------------
@@ -150,12 +172,24 @@ class Server:
             if self._running:
                 return self
             self._running = True
+        # Sessions are built once and survive stop()/start() cycles.
+        while len(self._sessions) < self.workers:
+            self._sessions.append(self.session.clone())
         # Stats cover the current serving session: without the reset, a
         # restarted (or late-started) server reports throughput averaged
         # over time it was not running.
         self.stats.reset()
-        self._worker = threading.Thread(target=self._serve_loop, name="repro-server", daemon=True)
-        self._worker.start()
+        self._threads = [
+            threading.Thread(
+                target=self._serve_loop,
+                args=(worker_session,),
+                name=f"repro-server-{index}",
+                daemon=True,
+            )
+            for index, worker_session in enumerate(self._sessions)
+        ]
+        for thread in self._threads:
+            thread.start()
         return self
 
     def stop(self, timeout: float = 5.0) -> None:
@@ -163,13 +197,14 @@ class Server:
             if not self._running:
                 return
             self._running = False
-            self._queue.put(self._SHUTDOWN)
-        if self._worker is not None:
-            self._worker.join(timeout=timeout)
-            self._worker = None
-        # Fail any request the worker never reached (queued behind the
-        # shutdown sentinel, or submitted in the stop race window) instead of
-        # leaving its future pending forever.
+            for _ in self._threads:
+                self._queue.put(self._SHUTDOWN)
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads = []
+        # Fail any request the workers never reached (queued behind the
+        # shutdown sentinels, or submitted in the stop race window) instead
+        # of leaving its future pending forever.
         while True:
             try:
                 item = self._queue.get_nowait()
@@ -224,9 +259,9 @@ class Server:
         return [f.result(timeout=timeout) for f in futures]
 
     # ------------------------------------------------------------------
-    # Worker
+    # Workers
     # ------------------------------------------------------------------
-    def _serve_loop(self) -> None:
+    def _serve_loop(self, session: InferenceSession) -> None:
         while True:
             try:
                 first = self._queue.get(timeout=0.1)
@@ -245,22 +280,24 @@ class Server:
                 except Empty:
                     break
                 if item is self._SHUTDOWN:
-                    self._execute(batch)
+                    # Keep the sentinel count balanced for the other workers.
+                    self._execute(batch, session)
                     return
                 batch.append(item)
-            self._execute(batch)
+            self._execute(batch, session)
 
-    def _execute(self, batch: List[_Request]) -> None:
+    def _execute(self, batch: List[_Request], session: Optional[InferenceSession] = None) -> None:
+        session = session if session is not None else self.session
         if len(batch) > 1 and len({request.x.shape for request in batch}) > 1:
             # A malformed request must not poison its batch-mates: mixed
             # shapes cannot be stacked, so serve each request individually
             # and let only the offender fail.
             for request in batch:
-                self._execute([request])
+                self._execute([request], session)
             return
         try:
             stacked = np.stack([request.x for request in batch])
-            logits = self.session.run(stacked)
+            logits = session.run(stacked)
         except Exception as error:  # surface runtime failures to every waiter
             for request in batch:
                 request.future.set_exception(error)

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.deploy.artifact import Artifact, ArtifactError, load_artifact
 from repro.deploy.plan import Step, compile_plan, plan_summary
+from repro.runtime.arena import BufferArena
 
 
 class InferenceSession:
@@ -36,11 +37,13 @@ class InferenceSession:
         explicitly accepts that divergence.  (Integer activation support is
         a ROADMAP item; the manifest already carries ``act_bits``.)
 
-    ``run`` is **not re-entrant**: conv steps reuse owned column/GEMM
-    buffers across calls, so a session must not execute two batches
-    concurrently.  The :class:`~repro.deploy.server.Server` serializes all
-    requests through one worker thread; for thread-parallel serving use one
-    session per worker.
+    ``run`` is **not re-entrant**: conv steps reuse GEMM output buffers
+    across calls, so a session must not execute two batches concurrently.
+    The :class:`~repro.deploy.server.Server` serializes each worker's
+    requests through its own session — pass ``workers=N`` there (it calls
+    :meth:`clone` per extra worker) for thread-parallel serving.  Each
+    session owns a private :class:`~repro.runtime.arena.BufferArena` its
+    plan steps draw scratch from, so concurrent sessions never contend.
     """
 
     def __init__(
@@ -49,6 +52,7 @@ class InferenceSession:
         if not isinstance(artifact, Artifact):
             artifact = load_artifact(artifact)
         self.artifact = artifact
+        self._float_activations = float_activations
         quantized_acts = sorted(
             name for name, rec in artifact.quantized.items() if rec.act_bits < 32
         )
@@ -66,9 +70,19 @@ class InferenceSession:
         modules = dict(skeleton.named_modules())
         for name, record in artifact.quantized.items():
             weights[id(modules[name])] = record
-        self.plan: List[Step] = compile_plan(skeleton, weights)
+        self.arena = BufferArena("session")
+        self.plan: List[Step] = compile_plan(skeleton, weights, arena=self.arena)
         self._calls = 0
         self._examples = 0
+
+    def clone(self) -> "InferenceSession":
+        """An independent session over the same (already unpacked) artifact.
+
+        Clones share the artifact's weight records but own their plan,
+        buffers and arena, so they can run batches concurrently with the
+        original — the unit of parallelism for multi-worker serving.
+        """
+        return InferenceSession(self.artifact, float_activations=self._float_activations)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -40,6 +40,19 @@ class Conv2d(Module):
             self.register_parameter("bias", None)
 
     def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(
+                f"Conv2d expects NCHW input, got {x.ndim}-D tensor of shape {x.shape}"
+            )
+        height, width = x.shape[2], x.shape[3]
+        if (
+            height + 2 * self.padding < self.kernel_size
+            or width + 2 * self.padding < self.kernel_size
+        ):
+            raise ValueError(
+                f"Conv2d kernel {self.kernel_size} does not fit {height}x{width} "
+                f"input with padding {self.padding}"
+            )
         return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
 
     def extra_repr(self) -> str:

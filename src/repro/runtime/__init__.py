@@ -1,0 +1,43 @@
+"""Process-wide compute runtime: worker thread pool + scratch buffer arena.
+
+Shared by the training stack (:mod:`repro.autograd.ops`) and the serving
+stack (:mod:`repro.deploy`):
+
+* :func:`parallel_apply` / :func:`parallel_gemm` shard large copies and
+  matmuls across a persistent :class:`ThreadPool` (``REPRO_NUM_THREADS``
+  knob, bitwise-deterministic at any thread count);
+* :class:`BufferArena` recycles the large intermediates both stacks
+  allocate on every step (``REPRO_ARENA=0`` bypasses pooling).
+"""
+
+from repro.runtime.arena import (
+    BufferArena,
+    arena_enabled,
+    default_arena,
+    set_arena_enabled,
+)
+from repro.runtime.threadpool import (
+    ThreadPool,
+    get_pool,
+    num_threads,
+    parallel_apply,
+    parallel_gemm,
+    set_num_threads,
+    shard_bounds,
+    thread_scope,
+)
+
+__all__ = [
+    "BufferArena",
+    "ThreadPool",
+    "arena_enabled",
+    "default_arena",
+    "get_pool",
+    "num_threads",
+    "parallel_apply",
+    "parallel_gemm",
+    "set_arena_enabled",
+    "set_num_threads",
+    "shard_bounds",
+    "thread_scope",
+]

@@ -1,0 +1,226 @@
+"""Size-bucketed, grow-only scratch buffer arena.
+
+Training steps and inference plans allocate the same handful of large
+intermediates (padded inputs, im2col column matrices, gate tensors) over and
+over; ``np.empty``/``np.zeros`` pays page-faulting and allocator traffic for
+each one.  A :class:`BufferArena` recycles raw byte blocks between those
+allocations:
+
+* :meth:`empty`/:meth:`zeros` hand out an ndarray *view* of a pooled block
+  whose capacity is the requested byte size rounded up to a power of two;
+* :meth:`release` returns the block behind such a view to its free bucket.
+
+Ownership is explicit and transfers with the array: the arena keeps **no**
+reference to a handed-out block, so a buffer that is never released is
+simply garbage-collected like any other array — forgetting to release can
+cost reuse, never correctness.  Releasing is only valid when the caller is
+the last user of the block (the usual pattern: acquire, fill, consume,
+release inside one kernel or one backward closure).
+
+Arenas are lock-protected and therefore shareable between threads; the hot
+paths in :mod:`repro.autograd.ops` draw from the process-wide
+:func:`default_arena`, while each deployment
+:class:`~repro.deploy.session.InferenceSession` owns a private arena so
+concurrent server workers never contend.
+
+Set ``REPRO_ARENA=0`` (or call :func:`set_arena_enabled(False)`) to bypass
+pooling entirely — every ``empty`` becomes a plain ``np.empty`` — which is
+the baseline the ``runtime`` benchmark suite's ``arena_off`` cases measure.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+#: Smallest bucket: below this, allocator overhead is negligible and pooling
+#: only adds bookkeeping.
+_MIN_BUCKET_BYTES = 4096
+#: Above this, power-of-two rounding would waste up to 2x real memory per
+#: block (a 130 MB ImageNet-scale column matrix must not become a 256 MB
+#: block); large blocks use page-granular exact buckets instead — reuse then
+#: requires a recurring geometry, which is exactly the steady-state case.
+_EXACT_BUCKET_THRESHOLD = 1 << 24
+_PAGE_BYTES = 4096
+#: Free blocks kept per bucket before further releases drop their block.
+#: Sized above the deepest same-bucket working set of a resnet-scale
+#: backward pass (every conv layer keeps one column block alive until its
+#: backward runs), so steady-state training never re-allocates.
+_MAX_FREE_PER_BUCKET = 32
+
+_enabled = os.environ.get("REPRO_ARENA", "").strip().lower() not in ("0", "off", "false")
+_enabled_lock = threading.Lock()
+
+
+def arena_enabled() -> bool:
+    """Whether arenas pool buffers (``False`` degrades to plain ``np.empty``)."""
+    return _enabled
+
+
+def set_arena_enabled(enabled: bool) -> None:
+    """Globally enable/disable buffer pooling (used by benches and tests)."""
+    global _enabled
+    with _enabled_lock:
+        _enabled = bool(enabled)
+
+
+def _bucket_for(nbytes: int) -> int:
+    if nbytes <= _MIN_BUCKET_BYTES:
+        return _MIN_BUCKET_BYTES
+    if nbytes > _EXACT_BUCKET_THRESHOLD:
+        return -(-nbytes // _PAGE_BYTES) * _PAGE_BYTES
+    return 1 << (nbytes - 1).bit_length()
+
+
+class BufferArena:
+    """Pool of reusable raw byte blocks, bucketed by power-of-two capacity."""
+
+    def __init__(self, name: str = "arena") -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._free: Dict[int, List[np.ndarray]] = {}
+        self._free_ids: set = set()
+        self._acquires = 0
+        self._misses = 0
+        self._releases = 0
+
+    # ------------------------------------------------------------------
+    # Acquire / release
+    # ------------------------------------------------------------------
+    def empty(self, shape: Tuple[int, ...], dtype=np.float32) -> np.ndarray:
+        """An uninitialized array of ``shape``/``dtype`` backed by a pooled block."""
+        dtype = np.dtype(dtype)
+        # math.prod, not np.prod: this runs on every acquire and the numpy
+        # reduction machinery costs several microseconds per call.
+        nbytes = (int(shape) if isinstance(shape, int) else math.prod(shape)) * dtype.itemsize
+        if not _enabled or nbytes == 0:
+            return np.empty(shape, dtype=dtype)
+        bucket = _bucket_for(nbytes)
+        with self._lock:
+            self._acquires += 1
+            free = self._free.get(bucket)
+            block = free.pop() if free else None
+            if block is not None:
+                self._free_ids.discard(id(block))
+            else:
+                self._misses += 1
+        if block is None:
+            block = np.empty(bucket, dtype=np.uint8)
+        return block[:nbytes].view(dtype).reshape(shape)
+
+    def zeros(self, shape: Tuple[int, ...], dtype=np.float32) -> np.ndarray:
+        """Like :meth:`empty` but zero-filled (cheaper than ``np.zeros`` when warm)."""
+        buffer = self.empty(shape, dtype)
+        buffer.fill(0)
+        return buffer
+
+    def empty_like(self, array: np.ndarray) -> np.ndarray:
+        """An uninitialized pooled array matching ``array``'s shape *and layout*.
+
+        Matching the memory layout matters for bitwise reproducibility, not
+        just speed: NumPy reductions (``mean``/``sum``) pick their pairwise
+        summation order from the operand's strides, so an intermediate
+        written to a C-contiguous scratch buffer and then reduced can differ
+        in the last bit from the same math on a transposed-layout
+        intermediate (e.g. a conv output view).  Kernels that *reduce* an
+        intermediate must allocate it with this method so pooling leaves
+        their results bit-identical to plain ``a - b`` style allocation.
+        """
+        if array.ndim <= 1 or array.flags["C_CONTIGUOUS"]:
+            return self.empty(array.shape, array.dtype)
+        # Axes ordered by descending stride describe the layout; allocate in
+        # that order and view back through the inverse permutation.
+        order = sorted(range(array.ndim), key=lambda i: -array.strides[i])
+        permuted = self.empty(tuple(array.shape[i] for i in order), array.dtype)
+        inverse = np.argsort(order)
+        return permuted.transpose(inverse)
+
+    def release(self, array) -> None:
+        """Return the block behind an arena-acquired view to its free bucket.
+
+        Arrays whose backing store is not an arena block (plain ``np.empty``
+        results, graph tensors, the ``None`` sentinel) are ignored, so call
+        sites can release unconditionally on paths where a buffer may or may
+        not have come from the arena.
+        """
+        if array is None or not _enabled:
+            return
+        root = array
+        while root.base is not None:
+            root = root.base
+        # Arena blocks are exactly the 1-D uint8 power-of-two buffers we
+        # allocate; anything else is foreign and stays with its owner.
+        if (
+            not isinstance(root, np.ndarray)
+            or root.ndim != 1
+            or root.dtype != np.uint8
+            or root.nbytes < _MIN_BUCKET_BYTES
+            or root.nbytes != _bucket_for(root.nbytes)
+        ):
+            return
+        with self._lock:
+            if id(root) in self._free_ids:
+                raise RuntimeError(
+                    f"BufferArena({self.name}): block released twice — a view of a "
+                    f"freed buffer is still alive somewhere"
+                )
+            free = self._free.setdefault(root.nbytes, [])
+            self._releases += 1
+            if len(free) < _MAX_FREE_PER_BUCKET:
+                free.append(root)
+                self._free_ids.add(id(root))
+            # else: drop the block — the bucket is already deep enough, and
+            # the garbage collector reclaims it like any other array.
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Counters for tests and diagnostics.
+
+        ``misses`` is the number of acquires that had to allocate a fresh
+        block — a warmed-up steady-state loop should stop growing it (the
+        ``no growth after warm step`` property the runtime tests assert).
+        ``free_bytes`` is the memory currently cached in the free buckets;
+        handed-out blocks are owned by their acquirers (and simply
+        garbage-collected if never released), so the arena cannot know
+        their total.
+        """
+        with self._lock:
+            return {
+                "free_blocks": sum(len(v) for v in self._free.values()),
+                "free_bytes": sum(
+                    block.nbytes for v in self._free.values() for block in v
+                ),
+                "acquires": self._acquires,
+                "misses": self._misses,
+                "releases": self._releases,
+            }
+
+    def trim(self) -> None:
+        """Drop every cached free block (memory back to the allocator)."""
+        with self._lock:
+            self._free.clear()
+            self._free_ids.clear()
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        if not stats["acquires"]:
+            return f"BufferArena({self.name!r}, empty)"
+        hit_rate = 1.0 - stats["misses"] / stats["acquires"]
+        return (
+            f"BufferArena({self.name!r}, free_bytes={stats['free_bytes']}, "
+            f"hit_rate={hit_rate:.2f})"
+        )
+
+
+_default_arena: BufferArena = BufferArena("default")
+
+
+def default_arena() -> BufferArena:
+    """The process-wide arena the autograd kernels draw scratch from."""
+    return _default_arena

@@ -15,7 +15,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.autograd.tensor import Tensor, no_grad
-from repro.data.dataloader import DataLoader
+from repro.data.dataloader import DataLoader, prefetch_batches
 from repro.nn import functional as F
 from repro.nn.module import Module
 from repro.optim.lr_scheduler import LRScheduler
@@ -44,25 +44,41 @@ class TrainingHistory:
         return self.test_accuracy[-1] if self.test_accuracy else float("nan")
 
 
+def iter_batches(loader, prefetch: bool):
+    """Iterate ``loader``, adding background prefetch unless it already has it.
+
+    Public helper shared by :func:`train_epoch`, :func:`evaluate` and the
+    CSQ trainer's own epoch loop: loaders that already prefetch (a
+    ``DataLoader(prefetch=True)``) are passed through untouched, anything
+    else is wrapped with :func:`repro.data.prefetch_batches` when
+    ``prefetch`` is set."""
+    if prefetch and not getattr(loader, "prefetch", False):
+        return prefetch_batches(loader)
+    return loader
+
+
 def train_epoch(
     model: Module,
     loader: DataLoader,
     optimizer: Optimizer,
     loss_fn: Optional[Callable[[Tensor, np.ndarray], Tensor]] = None,
     extra_loss: Optional[Callable[[], Tensor]] = None,
+    prefetch: bool = True,
 ) -> Dict[str, float]:
     """Run one epoch of SGD; returns mean loss and accuracy over the epoch.
 
     ``extra_loss`` is an optional zero-argument callable returning an extra
     scalar term added to the loss of every batch (used for the budget-aware
-    regularizer and the BSQ bit-sparsity penalty).
+    regularizer and the BSQ bit-sparsity penalty).  With ``prefetch`` (the
+    default) a background worker assembles the next batch while the current
+    step runs; batch order and results are unchanged.
     """
     if loss_fn is None:
         loss_fn = F.cross_entropy
     model.train()
     losses: List[float] = []
     accuracies: List[float] = []
-    for images, labels in loader:
+    for images, labels in iter_batches(loader, prefetch):
         logits = model(Tensor(images))
         loss = loss_fn(logits, labels)
         if extra_loss is not None:
@@ -79,6 +95,7 @@ def evaluate(
     model: Module,
     loader: DataLoader,
     loss_fn: Optional[Callable[[Tensor, np.ndarray], Tensor]] = None,
+    prefetch: bool = True,
 ) -> Dict[str, float]:
     """Evaluate mean loss and accuracy over a loader (no gradients)."""
     if loss_fn is None:
@@ -88,7 +105,7 @@ def evaluate(
     correct = 0
     total = 0
     with no_grad():
-        for images, labels in loader:
+        for images, labels in iter_batches(loader, prefetch):
             logits = model(Tensor(images))
             loss = loss_fn(logits, labels)
             losses.append(float(loss.data))

@@ -82,19 +82,29 @@ class TestPoolingGradcheck:
 
 
 class TestScratchBufferIsolation:
-    """im2col results must own their memory: conv2d saves them for backward,
-    and the padding scratch buffer is reused across calls.  The 1x1-kernel
-    geometries below are the ones where the patch-view reshape can degenerate
-    into a view instead of a copy."""
+    """im2col results must not alias anything another computation can touch:
+    conv2d saves them for backward while the padding scratch and other arena
+    blocks are recycled.  The columns are backed by an arena block whose
+    ownership transfers to the caller, so they must never share memory with
+    the input or with the columns of a later call.  The 1x1-kernel
+    geometries below are the ones where a naive patch-view reshape would
+    degenerate into a view of the input."""
 
     @pytest.mark.parametrize("batch,channels", [(1, 4), (2, 1), (1, 1)])
-    def test_im2col_owns_its_memory(self, batch, channels):
+    def test_im2col_never_aliases_input_or_later_calls(self, batch, channels):
         x = np.random.default_rng(0).standard_normal(
             (batch, channels, 6, 6)
         ).astype(np.float32)
         for padding in (0, 1):
             cols = ops.im2col(x, 1, 1, 1, padding)
-            assert cols.base is None, f"padding={padding}: cols aliases another array"
+            assert not np.shares_memory(cols, x), f"padding={padding}: cols aliases x"
+            again = ops.im2col(x, 1, 1, 1, padding)
+            assert not np.shares_memory(cols, again), (
+                f"padding={padding}: live cols were recycled by a later call"
+            )
+            expected = cols.copy()
+            again[:] = -1.0  # scribble over the second gather
+            np.testing.assert_array_equal(cols, expected)
 
     def test_back_to_back_conv_grads_unaffected_by_scratch_reuse(self):
         # Two same-geometry convs: the second call reuses the padding scratch

@@ -1,0 +1,83 @@
+"""Background-prefetch loader: order preservation, cleanup, errors."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader, cifar10_like, prefetch_batches
+
+
+@pytest.fixture
+def dataset():
+    return cifar10_like(train=True, train_size=40, image_size=8, seed=0)
+
+
+def _collect(loader):
+    return [(images.copy(), labels.copy()) for images, labels in loader]
+
+
+def test_prefetch_yields_identical_batches(dataset):
+    plain = DataLoader(dataset, batch_size=8, shuffle=True, seed=3)
+    prefetched = DataLoader(dataset, batch_size=8, shuffle=True, seed=3, prefetch=True)
+    for epoch in range(2):  # shuffle stream must stay in sync across epochs
+        for (a_img, a_lab), (b_img, b_lab) in zip(_collect(plain), _collect(prefetched)):
+            np.testing.assert_array_equal(a_img, b_img)
+            np.testing.assert_array_equal(a_lab, b_lab)
+
+
+def test_prefetch_batch_count_and_len(dataset):
+    loader = DataLoader(dataset, batch_size=16, prefetch=True)
+    assert len(_collect(loader)) == len(loader)
+
+
+def test_early_break_stops_worker(dataset):
+    loader = DataLoader(dataset, batch_size=4, prefetch=True)
+    iterator = iter(loader)
+    next(iterator)
+    iterator.close()
+    deadline = time.time() + 5.0
+    while time.time() < deadline:
+        if not any(t.name == "repro-prefetch" for t in threading.enumerate()):
+            return
+        time.sleep(0.01)
+    raise AssertionError("prefetch worker still alive after iterator close")
+
+
+def test_worker_exception_reraises_in_consumer():
+    def broken():
+        yield (np.zeros(1), np.zeros(1))
+        raise RuntimeError("bad sample")
+
+    iterator = prefetch_batches(broken())
+    next(iterator)
+    with pytest.raises(RuntimeError, match="bad sample"):
+        list(iterator)
+
+
+def test_prefetch_wraps_any_iterable():
+    items = list(range(17))
+    assert list(prefetch_batches(iter(items), depth=3)) == items
+
+
+def test_depth_validation():
+    with pytest.raises(ValueError):
+        list(prefetch_batches([1], depth=0))
+
+
+def test_training_loop_uses_prefetch_by_default(dataset):
+    """train_epoch results are identical with prefetch on and off."""
+    from repro.models import create_model
+    from repro.optim import SGD
+    from repro.training.loop import train_epoch
+    from repro.utils import seed_everything
+
+    metrics = []
+    for prefetch in (False, True):
+        seed_everything(0)
+        model = create_model("simple_convnet", num_classes=10, width=4)
+        optimizer = SGD(model.parameters(), lr=0.01)
+        loader = DataLoader(dataset, batch_size=8, shuffle=True, seed=1)
+        metrics.append(train_epoch(model, loader, optimizer, prefetch=prefetch))
+    assert metrics[0] == metrics[1]

@@ -1,0 +1,165 @@
+"""Buffer arena: recycling, ownership, steady-state behavior."""
+
+import numpy as np
+import pytest
+
+from repro import runtime
+from repro.runtime.arena import BufferArena
+
+
+class TestAcquireRelease:
+    def test_round_trip_recycles_the_block(self):
+        arena = BufferArena("t")
+        first = arena.empty((64, 64), np.float32)
+        root = first
+        while root.base is not None:
+            root = root.base
+        arena.release(first)
+        second = arena.empty((32, 128), np.float32)  # same byte size
+        root2 = second
+        while root2.base is not None:
+            root2 = root2.base
+        assert root is root2
+        assert arena.stats()["misses"] == 1
+
+    def test_views_have_requested_shape_and_dtype(self):
+        arena = BufferArena("t")
+        for shape, dtype in [((3, 5), np.float32), ((7,), np.float64), ((2, 2, 2), np.int64)]:
+            buf = arena.empty(shape, dtype)
+            assert buf.shape == shape and buf.dtype == dtype
+            buf[...] = 1  # writable
+            arena.release(buf)
+
+    def test_zeros_is_zero_even_when_recycled(self):
+        arena = BufferArena("t")
+        dirty = arena.empty((100,), np.float32)
+        dirty.fill(7.0)
+        arena.release(dirty)
+        clean = arena.zeros((100,), np.float32)
+        assert not clean.any()
+
+    def test_release_of_foreign_arrays_is_ignored(self):
+        arena = BufferArena("t")
+        arena.release(np.empty((16, 16), np.float32))
+        arena.release(None)
+        arena.release(np.empty(0, np.float32))
+        assert arena.stats()["free_blocks"] == 0
+
+    def test_double_release_raises(self):
+        arena = BufferArena("t")
+        buf = arena.empty((512,), np.float32)
+        arena.release(buf)
+        with pytest.raises(RuntimeError, match="released twice"):
+            arena.release(buf)
+
+    def test_distinct_blocks_for_concurrent_acquires(self):
+        arena = BufferArena("t")
+        a = arena.empty((128,), np.float32)
+        b = arena.empty((128,), np.float32)
+        assert not np.shares_memory(a, b)
+
+    def test_disabled_arena_degrades_to_plain_numpy(self):
+        arena = BufferArena("t")
+        previous = runtime.arena_enabled()
+        runtime.set_arena_enabled(False)
+        try:
+            buf = arena.empty((64,), np.float32)
+            arena.release(buf)
+            assert arena.stats()["acquires"] == 0
+        finally:
+            runtime.set_arena_enabled(previous)
+
+    def test_trim_drops_cached_blocks(self):
+        arena = BufferArena("t")
+        buf = arena.empty((1024,), np.float32)
+        arena.release(buf)
+        assert arena.stats()["free_blocks"] == 1
+        arena.trim()
+        assert arena.stats()["free_blocks"] == 0
+
+
+class TestSteadyState:
+    def test_no_growth_after_warm_train_step(self):
+        """A warmed-up CSQ train step stops allocating fresh blocks."""
+        from repro.csq.convert import convert_to_csq
+        from repro.models import create_model
+        from repro.nn import functional as F
+        from repro.optim import SGD
+        from repro.autograd.tensor import Tensor
+        from repro.utils import seed_everything
+
+        seed_everything(0)
+        model = create_model("simple_convnet", num_classes=10, width=8)
+        model, state = convert_to_csq(model, num_bits=4, act_bits=3)
+        state.set_temperature(5.0)
+        optimizer = SGD(model.parameters(), lr=0.01)
+        rng = np.random.default_rng(0)
+        images = rng.standard_normal((8, 3, 10, 10)).astype(np.float32)
+        labels = rng.integers(0, 10, size=8)
+        model.train()
+
+        def step():
+            logits = model(Tensor(images))
+            loss = F.cross_entropy(logits, labels)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+
+        arena = runtime.default_arena()
+        for _ in range(3):  # warm every bucket the step touches
+            step()
+        misses_before = arena.stats()["misses"]
+        for _ in range(5):
+            step()
+        assert arena.stats()["misses"] == misses_before, (
+            "steady-state train steps should be served entirely from warm "
+            "arena blocks"
+        )
+
+    def test_inference_session_runs_warm(self):
+        from repro.deploy import InferenceSession, save_artifact
+        from repro.deploy.testing import frozen_mixed_model
+        import os
+        import tempfile
+
+        model = frozen_mixed_model("simple_convnet", num_classes=10, width=8)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "m.npz")
+            save_artifact(model, path, arch="simple_convnet",
+                          arch_kwargs={"num_classes": 10, "width": 8})
+            session = InferenceSession(path)
+        batch = np.random.default_rng(0).standard_normal((4, 3, 10, 10)).astype(np.float32)
+        for _ in range(2):
+            session.run(batch)
+        misses_before = session.arena.stats()["misses"]
+        for _ in range(5):
+            session.run(batch)
+        assert session.arena.stats()["misses"] == misses_before
+
+
+class TestReleasedStateGuards:
+    def test_conv2d_double_backward_raises_clearly(self):
+        from repro.autograd import ops
+        from repro.autograd.tensor import Tensor
+
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.standard_normal((2, 3, 6, 6)).astype(np.float32), requires_grad=True)
+        w = Tensor(rng.standard_normal((4, 3, 3, 3)).astype(np.float32), requires_grad=True)
+        loss = ops.conv2d(x, w, stride=1, padding=1).sum()
+        loss.backward()
+        with pytest.raises(RuntimeError, match="backward called twice"):
+            loss.backward()
+
+    def test_batch_norm_double_backward_raises_clearly(self):
+        from repro.autograd import ops
+        from repro.autograd.tensor import Tensor
+
+        rng = np.random.default_rng(1)
+        x = Tensor(rng.standard_normal((8, 4)).astype(np.float32), requires_grad=True)
+        g = Tensor(np.ones(4, np.float32), requires_grad=True)
+        b = Tensor(np.zeros(4, np.float32), requires_grad=True)
+        out, _, _ = ops.batch_norm(x, g, b, axes=(0,))
+        loss = out.sum()
+        loss.backward()
+        with pytest.raises(RuntimeError, match="backward called twice"):
+            loss.backward()

@@ -1,0 +1,82 @@
+"""Transposed-conv backward-data: equivalence, selection, gradcheck."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import gradcheck, ops
+from repro.autograd.tensor import Tensor
+
+
+def _setup(Cin, Cout, k, stride, padding, H=9, N=3, seed=0):
+    rng = np.random.default_rng(seed)
+    x_shape = (N, Cin, H, H)
+    out_h = (H + 2 * padding - k) // stride + 1
+    grad = rng.standard_normal((N, Cout, out_h, out_h)).astype(np.float32)
+    weight = rng.standard_normal((Cout, Cin, k, k)).astype(np.float32)
+    return grad, weight, x_shape
+
+
+class TestAlgorithmEquivalence:
+    @pytest.mark.parametrize("Cin,Cout,k,stride,padding", [
+        (5, 7, 3, 1, 1),
+        (7, 5, 3, 1, 1),
+        (6, 6, 3, 2, 1),
+        (4, 8, 5, 1, 2),
+        (8, 4, 1, 1, 0),
+        (3, 3, 2, 2, 0),
+        (5, 5, 3, 1, 0),
+    ])
+    def test_transposed_matches_col2im(self, Cin, Cout, k, stride, padding):
+        grad, weight, x_shape = _setup(Cin, Cout, k, stride, padding)
+        via_col2im = ops.conv2d_backward_data(
+            grad, weight, x_shape, stride, padding, algo="col2im"
+        )
+        via_transposed = ops.conv2d_backward_data(
+            grad, weight, x_shape, stride, padding, algo="transposed"
+        )
+        np.testing.assert_allclose(via_transposed, via_col2im, rtol=1e-4, atol=1e-4)
+
+    def test_auto_selection_matches_both(self):
+        grad, weight, x_shape = _setup(6, 6, 3, 1, 1)
+        auto = ops.conv2d_backward_data(grad, weight, x_shape, 1, 1)
+        reference = ops.conv2d_backward_data(grad, weight, x_shape, 1, 1, algo="col2im")
+        np.testing.assert_allclose(auto, reference, rtol=1e-4, atol=1e-4)
+
+    def test_exotic_padding_falls_back(self):
+        # padding > kernel - 1 has no transposed-conv grid; col2im must serve.
+        grad, weight, x_shape = _setup(3, 4, 3, 1, 3, H=7)
+        with pytest.raises(ValueError, match="transposed"):
+            ops.conv2d_backward_data(grad, weight, x_shape, 1, 3, algo="transposed")
+        auto = ops.conv2d_backward_data(grad, weight, x_shape, 1, 3)
+        reference = ops.conv2d_backward_data(grad, weight, x_shape, 1, 3, algo="col2im")
+        np.testing.assert_array_equal(auto, reference)
+
+    def test_rejects_unknown_algo(self):
+        grad, weight, x_shape = _setup(3, 3, 3, 1, 1)
+        with pytest.raises(ValueError, match="algo"):
+            ops.conv2d_backward_data(grad, weight, x_shape, 1, 1, algo="winograd")
+
+
+class TestGradcheckThroughTransposedPath:
+    """conv2d geometries that auto-select the transposed-conv backward,
+    validated against finite differences end to end."""
+
+    @pytest.mark.parametrize("Cin,Cout,k,stride,padding", [
+        (3, 3, 3, 1, 1),   # equal width — the dominant deep-net case
+        (4, 2, 3, 1, 1),   # contracting
+        (3, 3, 3, 1, 0),
+        (2, 2, 5, 1, 2),
+    ])
+    def test_conv2d_gradcheck(self, Cin, Cout, k, stride, padding):
+        rng = np.random.default_rng(10)
+        x = Tensor(rng.standard_normal((2, Cin, 7, 7)), requires_grad=True)
+        w = Tensor(rng.standard_normal((Cout, Cin, k, k)), requires_grad=True)
+        assert gradcheck(
+            lambda x, w: ops.conv2d(x, w, stride=stride, padding=padding), [x, w]
+        )
+
+    def test_exotic_padding_gradcheck(self):
+        rng = np.random.default_rng(11)
+        x = Tensor(rng.standard_normal((1, 2, 6, 6)), requires_grad=True)
+        w = Tensor(rng.standard_normal((3, 2, 3, 3)), requires_grad=True)
+        assert gradcheck(lambda x, w: ops.conv2d(x, w, stride=1, padding=3), [x, w])

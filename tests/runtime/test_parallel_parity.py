@@ -1,0 +1,135 @@
+"""Bitwise single- vs multi-thread parity of the sharded kernels.
+
+The runtime's determinism contract: the same bytes come out of every
+forward/backward regardless of ``REPRO_NUM_THREADS``.  These tests run the
+conv / linear / CSQ kernels at several thread counts and require exact
+``array_equal`` — not ``allclose`` — so any shard-dependent accumulation
+order change is caught immediately.
+"""
+
+import numpy as np
+import pytest
+
+from repro import runtime
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+
+_THREADS = (1, 2, 3, 4)
+
+
+def _run_at_every_thread_count(fn):
+    results = []
+    for threads in _THREADS:
+        with runtime.thread_scope(threads):
+            results.append(fn())
+    reference = results[0]
+    for threads, result in zip(_THREADS[1:], results[1:]):
+        for ref_arr, got_arr in zip(reference, result):
+            np.testing.assert_array_equal(
+                got_arr, ref_arr,
+                err_msg=f"bitwise divergence at {threads} threads",
+            )
+
+
+class TestConvParity:
+    @pytest.mark.parametrize("geometry", [
+        # (x_shape, w_shape, stride, padding)
+        ((6, 5, 9, 9), (7, 5, 3, 3), 2, 1),     # batch-sharded gather
+        ((50, 16, 12, 12), (32, 16, 3, 3), 1, 1),  # bench geometry, col2im data
+        ((8, 16, 10, 10), (16, 16, 3, 3), 1, 1),   # transposed-conv data path
+        ((4, 3, 16, 16), (8, 3, 5, 5), 1, 2),
+        ((10, 8, 8, 8), (16, 8, 1, 1), 1, 0),
+    ])
+    def test_conv2d_forward_backward(self, geometry):
+        x_shape, w_shape, stride, padding = geometry
+        rng = np.random.default_rng(0)
+        x_data = rng.standard_normal(x_shape).astype(np.float32)
+        w_data = rng.standard_normal(w_shape).astype(np.float32)
+
+        def run():
+            x = Tensor(x_data, requires_grad=True)
+            w = Tensor(w_data, requires_grad=True)
+            out = ops.conv2d(x, w, stride=stride, padding=padding)
+            out.sum().backward()
+            return out.data.copy(), x.grad.copy(), w.grad.copy()
+
+        _run_at_every_thread_count(run)
+
+    def test_im2col_bytes(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((6, 5, 9, 9)).astype(np.float32)
+
+        def run():
+            return (np.array(ops.im2col(x, 3, 3, 2, 1)),)
+
+        _run_at_every_thread_count(run)
+
+
+class TestLinearParity:
+    def test_matmul_forward_backward(self):
+        rng = np.random.default_rng(2)
+        x_data = rng.standard_normal((64, 512)).astype(np.float32)
+        w_data = rng.standard_normal((512, 9000)).astype(np.float32)
+
+        def run():
+            x = Tensor(x_data, requires_grad=True)
+            w = Tensor(w_data, requires_grad=True)
+            out = ops.matmul(x, w)
+            out.sum().backward()
+            return out.data.copy(), x.grad.copy(), w.grad.copy()
+
+        _run_at_every_thread_count(run)
+
+
+class TestCSQParity:
+    def test_csq_reconstruct_forward_backward(self):
+        from repro.csq.bitparam import BitParameterization
+        from repro.csq.gates import GateState
+
+        weight = np.random.default_rng(3).standard_normal((16, 8, 3, 3)).astype(np.float32)
+
+        def run():
+            bp = BitParameterization(weight.copy(), num_bits=8)
+            out = bp.relaxed_weight(GateState(beta=5.0, beta_mask=5.0))
+            out.sum().backward()
+            return (
+                out.data.copy(),
+                bp.m_p.grad.copy(),
+                bp.m_n.grad.copy(),
+                bp.m_b.grad.copy(),
+                bp.scale.grad.copy(),
+            )
+
+        _run_at_every_thread_count(run)
+
+
+class TestTrainStepParity:
+    def test_full_csq_train_step_bitwise(self):
+        """One full optimization step produces identical parameters at any
+        thread count (the end-to-end determinism claim)."""
+        from repro.csq.convert import convert_to_csq
+        from repro.models import create_model
+        from repro.nn import functional as F
+        from repro.optim import SGD
+        from repro.utils import seed_everything
+
+        rng = np.random.default_rng(4)
+        images = rng.standard_normal((8, 3, 10, 10)).astype(np.float32)
+        labels = rng.integers(0, 10, size=8)
+
+        def run():
+            seed_everything(0)
+            model = create_model("simple_convnet", num_classes=10, width=8)
+            model, state = convert_to_csq(model, num_bits=4, act_bits=3)
+            state.set_temperature(5.0)
+            optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9)
+            model.train()
+            for _ in range(2):
+                logits = model(Tensor(images))
+                loss = F.cross_entropy(logits, labels)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+            return tuple(p.data.copy() for p in model.parameters())
+
+        _run_at_every_thread_count(run)

@@ -1,0 +1,191 @@
+"""Thread pool: sharding, error propagation, configuration knobs."""
+
+import os
+import subprocess
+import sys
+import threading
+
+import numpy as np
+import pytest
+
+from repro import runtime
+from repro.runtime.threadpool import ThreadPool, shard_bounds
+
+
+class TestShardBounds:
+    def test_covers_range_contiguously(self):
+        for total in (1, 5, 7, 100):
+            for shards in (1, 2, 3, 8):
+                bounds = shard_bounds(total, shards)
+                assert bounds[0] == 0 and bounds[-1] == total
+                assert bounds == sorted(bounds)
+
+    def test_more_shards_than_items_collapses(self):
+        assert shard_bounds(2, 8) == [0, 1, 2]
+
+
+class TestThreadPool:
+    def test_runs_all_tasks_and_orders_results(self):
+        pool = ThreadPool(3)
+        try:
+            results = pool.run_all([lambda i=i: i * i for i in range(10)])
+            assert results == [i * i for i in range(10)]
+        finally:
+            pool.shutdown()
+
+    def test_tasks_actually_run_on_worker_threads(self):
+        # Tasks rendezvous on a barrier, so they can only all finish if the
+        # two pool workers execute alongside the (work-stealing) caller.
+        pool = ThreadPool(2)
+        barrier = threading.Barrier(3, timeout=5.0)
+        seen = set()
+        lock = threading.Lock()
+
+        def task():
+            with lock:
+                seen.add(threading.current_thread().name)
+            barrier.wait()
+
+        try:
+            pool.run_all([task] * 3)
+        finally:
+            pool.shutdown()
+        workers = {name for name in seen if name.startswith("repro-compute")}
+        assert len(workers) == 2, seen
+
+    def test_first_error_by_task_order_wins(self):
+        pool = ThreadPool(2)
+
+        def boom(idx):
+            raise ValueError(f"task {idx}")
+
+        try:
+            with pytest.raises(ValueError, match="task 0"):
+                pool.run_all([lambda: boom(0), lambda: boom(1), lambda: 3])
+        finally:
+            pool.shutdown()
+
+    def test_join_waits_for_every_task(self):
+        # A task slower than its siblings must still complete before
+        # run_all returns (regression test: the caller's inline task must
+        # not count toward the pooled-completion semaphore).
+        import time
+
+        pool = ThreadPool(1)
+        state = {"done": False}
+
+        def slow():
+            time.sleep(0.05)
+            state["done"] = True
+
+        try:
+            pool.run_all([lambda: None, slow])
+            assert state["done"]
+        finally:
+            pool.shutdown()
+
+
+class TestConfiguration:
+    def test_set_num_threads_validates(self):
+        with pytest.raises(ValueError):
+            runtime.set_num_threads(0)
+
+    def test_thread_scope_restores(self):
+        before = runtime.num_threads()
+        with runtime.thread_scope(3):
+            assert runtime.num_threads() == 3
+        assert runtime.num_threads() == before
+
+    def test_env_knob_controls_default(self):
+        code = "from repro import runtime; print(runtime.num_threads())"
+        env = dict(os.environ, REPRO_NUM_THREADS="5")
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH", "")) if p
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True, env=env,
+            cwd=os.path.join(os.path.dirname(__file__), "..", ".."),
+        )
+        assert out.stdout.strip() == "5", out.stderr
+
+    def test_invalid_env_is_a_loud_error(self):
+        code = (
+            "from repro import runtime\n"
+            "try:\n"
+            "    runtime.num_threads()\n"
+            "    print('no error')\n"
+            "except ValueError:\n"
+            "    print('value error')\n"
+        )
+        env = dict(os.environ, REPRO_NUM_THREADS="many")
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH", "")) if p
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True, env=env,
+            cwd=os.path.join(os.path.dirname(__file__), "..", ".."),
+        )
+        assert out.stdout.strip() == "value error", out.stderr
+
+
+class TestParallelApply:
+    def test_results_in_shard_order(self):
+        with runtime.thread_scope(3):
+            results = runtime.parallel_apply(lambda lo, hi: (lo, hi), 10)
+        assert results[0][0] == 0 and results[-1][1] == 10
+        flat = [x for pair in results for x in pair]
+        assert flat == sorted(flat)
+
+    def test_single_thread_runs_inline(self):
+        with runtime.thread_scope(1):
+            thread_names = runtime.parallel_apply(
+                lambda lo, hi: threading.current_thread().name, 100
+            )
+        assert thread_names == [threading.main_thread().name]
+
+    def test_exception_propagates(self):
+        def fail(lo, hi):
+            raise RuntimeError("shard failed")
+
+        with runtime.thread_scope(2):
+            with pytest.raises(RuntimeError, match="shard failed"):
+                runtime.parallel_apply(fail, 10)
+
+
+class TestParallelGemm:
+    @pytest.mark.parametrize("shape", [
+        (7, 150, 45),      # tiny: monolithic at any thread count
+        (5, 63, 486),      # the shape where naive per-thread column splits
+                           # diverge bitwise on OpenBLAS
+        (32, 144, 7200),   # conv-forward shape: column blocks engage
+        (160, 64, 300),    # row blocks engage
+    ])
+    def test_bitwise_identical_across_thread_counts(self, shape):
+        m, k, n = shape
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((m, k)).astype(np.float32)
+        b = rng.standard_normal((k, n)).astype(np.float32)
+        reference = None
+        for threads in (1, 2, 4):
+            for shard in ("cols", "rows"):
+                with runtime.thread_scope(threads):
+                    out = runtime.parallel_gemm(a, b, shard=shard)
+                if reference is None:
+                    reference = out
+                else:
+                    np.testing.assert_array_equal(out, reference)
+
+    def test_matches_numpy_result(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((33, 70)).astype(np.float32)
+        b = rng.standard_normal((70, 9000)).astype(np.float32)
+        with runtime.thread_scope(2):
+            out = runtime.parallel_gemm(a, b)
+        np.testing.assert_allclose(out, a @ b, rtol=1e-6, atol=1e-5)
+
+    def test_rejects_bad_args(self):
+        a = np.ones((2, 3), np.float32)
+        with pytest.raises(ValueError):
+            runtime.parallel_gemm(a, np.ones(3, np.float32))
+        with pytest.raises(ValueError):
+            runtime.parallel_gemm(a, np.ones((3, 2), np.float32), shard="diag")
