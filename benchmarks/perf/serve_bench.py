@@ -9,9 +9,14 @@ Two suites:
   ``CSQTrainer.evaluate`` and every table bench run it today — it
   reconstructs the Eq. 5 weights on every forward) and
   ``eval_stack_resnet20_batched`` (the ``materialize_quantized`` float model
-  under ``no_grad`` — the strongest autograd-stack baseline).
+  under ``no_grad`` — the strongest autograd-stack baseline).  The
+  ``act{4,8}_*`` cases run the same geometry with quantized activations
+  (the paper's A-Bits column served on the integer grid);
+  ``session_resnet20_batched`` is the ``act_bits=32`` member of that family.
 * ``serve`` — the threaded :class:`~repro.deploy.server.Server`: single-stream
-  request latency and multi-client micro-batched throughput.
+  request latency and multi-client micro-batched throughput, plus
+  ``*_act{4,8}`` variants of the concurrent burst over integer-activation
+  sessions.
 
 Both are registered with the suite/label/JSON harness so
 ``scripts/perf_compare.py`` can gate regressions against the committed
@@ -37,12 +42,14 @@ _INFER_SCALES = {
 }
 
 
-def _frozen_artifact_setup(cfg, keep_csq_model: bool = False):
+def _frozen_artifact_setup(cfg, keep_csq_model: bool = False, act_bits: int = 32):
     """Build a frozen mixed-precision CSQ resnet20 and export its artifact.
 
     Returns ``(session, reference_model, images)`` — the deployment runtime,
     a training-stack eval reference (the frozen CSQ model itself when
     ``keep_csq_model``, else the materialized float model) and one batch.
+    ``act_bits < 32`` builds an activation-quantized model (calibrated
+    observers) whose session runs the integer-activation plan.
     """
     from repro.csq.convert import materialize_quantized
     from repro.deploy import InferenceSession, save_artifact
@@ -54,7 +61,12 @@ def _frozen_artifact_setup(cfg, keep_csq_model: bool = False):
     # Deterministic mixed precisions (2..5 bits cycling) — the bench measures
     # the runtime, not the search.
     model = frozen_mixed_model(
-        "resnet20", precisions=(2, 3, 4, 5), randomize_bn=False, **kwargs
+        "resnet20", precisions=(2, 3, 4, 5), randomize_bn=False,
+        act_bits=act_bits,
+        calibration_shape=(
+            (cfg["batch"], 3, cfg["image"], cfg["image"]) if act_bits < 32 else None
+        ),
+        **kwargs,
     )
 
     tmpdir = tempfile.mkdtemp(prefix="repro_serve_bench_")
@@ -91,6 +103,18 @@ def build_infer_suite(scale: str) -> List[BenchCase]:
         session, images = state
         return session.run(images)
 
+    def make_act_case(bits: int) -> BenchCase:
+        # Same geometry/weights as session_resnet20_batched (the act_bits=32
+        # member of the family) — only the activation grid differs, so the
+        # act4/act8/32 labels read as one column sweep.
+        def act_setup():
+            session, _, images = _frozen_artifact_setup(cfg, act_bits=bits)
+            assert session.activation_mode == "integer"
+            return session, images
+
+        return BenchCase(f"act{bits}_session_resnet20", act_setup, session_fn,
+                         float(cfg["batch"]), "image")
+
     def eval_stack_setup():
         from repro.autograd.tensor import Tensor, no_grad
 
@@ -123,6 +147,8 @@ def build_infer_suite(scale: str) -> List[BenchCase]:
     return [
         BenchCase("session_resnet20_batched", session_setup, session_fn,
                   images_per_call, "image"),
+        make_act_case(4),
+        make_act_case(8),
         BenchCase("eval_stack_resnet20_batched", eval_stack_setup, eval_stack_fn,
                   images_per_call, "image"),
         BenchCase("eval_stack_csq_frozen", csq_eval_setup, csq_eval_fn,
@@ -151,13 +177,14 @@ def build_serve_suite(scale: str) -> List[BenchCase]:
     def single_stream_teardown(state):
         state[0].stop()
 
-    def make_concurrent_case(name: str, workers: int, max_batch: int) -> BenchCase:
+    def make_concurrent_case(name: str, workers: int, max_batch: int,
+                             act_bits: int = 32) -> BenchCase:
         def concurrent_setup():
             from concurrent.futures import ThreadPoolExecutor
 
             from repro.deploy import Server
 
-            session, _, images = _frozen_artifact_setup(cfg)
+            session, _, images = _frozen_artifact_setup(cfg, act_bits=act_bits)
             server = Server(session, max_batch=max_batch, max_wait_ms=2.0, workers=workers)
             server.start()
             pool = ThreadPoolExecutor(max_workers=cfg["clients"])
@@ -188,6 +215,10 @@ def build_serve_suite(scale: str) -> List[BenchCase]:
         BenchCase("server_single_stream", single_stream_setup, single_stream_fn,
                   1.0, "request", teardown=single_stream_teardown),
         make_concurrent_case("server_concurrent_burst", 1, cfg["batch"]),
+        # A-Bits sweep of the burst case: integer-activation sessions behind
+        # the same server knobs (the plain burst is the act_bits=32 member).
+        make_concurrent_case("server_concurrent_burst_act4", 1, cfg["batch"], act_bits=4),
+        make_concurrent_case("server_concurrent_burst_act8", 1, cfg["batch"], act_bits=8),
         make_concurrent_case("server_microbatch_w1", 1, micro_batch),
         make_concurrent_case("server_microbatch_w4", 4, micro_batch),
     ]

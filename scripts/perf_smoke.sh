@@ -40,6 +40,19 @@ if [[ ! -f "$BASELINE" ]]; then
     exit 2
 fi
 
+# The integer-activation inference cases (infer/act4_*, infer/act8_*) must be
+# part of the gated baseline: perf_compare only checks cases present in BOTH
+# files, so a baseline that silently lost them would stop gating the
+# activation-quantized serving path.
+python - "$BASELINE" <<'EOF'
+import json, sys
+results = json.load(open(sys.argv[1]))["results"]
+act = {r["name"] for r in results if r["suite"] == "infer" and r["name"].startswith("act")}
+missing = {"act4_session_resnet20", "act8_session_resnet20"} - act
+if missing:
+    raise SystemExit(f"Baseline lacks gated integer-activation cases: {sorted(missing)}")
+EOF
+
 # The regression gate is pinned to one compute thread: the committed tiny
 # baseline was recorded at REPRO_NUM_THREADS=1, and comparing timings taken
 # at different thread counts would make the gate meaningless.

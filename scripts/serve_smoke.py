@@ -5,7 +5,11 @@ Run by ``scripts/tier1.sh`` after the unit suite.  No training: a frozen
 mixed-precision resnet20 (deterministic masks) is exported, reloaded,
 executed by the :class:`InferenceSession`, and served through the threaded
 :class:`Server`; served logits must match both the session and the
-materialized float model's eval path.  Exits non-zero on any mismatch.
+materialized float model's eval path.  A second, activation-quantized
+(``act_bits=4``) resnet20 exercises the integer-activation plan: it must
+serve *without* the ``float_activations`` escape hatch and match the frozen
+CSQ training-graph eval within quantization tolerance.  Exits non-zero on
+any mismatch.
 """
 
 from __future__ import annotations
@@ -61,8 +65,43 @@ def main() -> int:
             print(f"serve smoke FAILED: server answered {stats['served']} of {len(images)}")
             return 1
 
+    # --- integer-activation leg: act_bits=4 resnet20 -------------------
+    act_model = frozen_mixed_model(
+        "resnet20", precisions=(2, 3, 4, 5), randomize_bn=False, act_bits=4,
+        calibration_shape=(8, 3, 12, 12), **kwargs
+    )
+    act_model.eval()
+    with tempfile.TemporaryDirectory(prefix="repro_serve_smoke_act_") as tmp:
+        path = os.path.join(tmp, "resnet20_act4.npz")
+        save_artifact(act_model, path, arch="resnet20", arch_kwargs=kwargs)
+        act_session = InferenceSession(load_artifact(path))  # no escape hatch
+        if act_session.activation_mode != "integer":
+            print(
+                f"serve smoke FAILED: act4 artifact compiled "
+                f"{act_session.activation_mode!r} activations, expected 'integer'"
+            )
+            return 1
+        rng = np.random.default_rng(1)
+        images = rng.standard_normal((8, 3, 12, 12)).astype(np.float32)
+        act_logits = act_session.run(images)
+        with no_grad():
+            frozen_logits = act_model(Tensor(images)).data
+        act_err = float(np.abs(act_logits - frozen_logits).max())
+        # Quantization tolerance: the only permitted divergence from the
+        # frozen training graph is float32 reassociation, orders of
+        # magnitude below one activation grid step (~6.7e-2 at 4 bits).
+        if act_err > 1e-4:
+            print(f"serve smoke FAILED: act4 session vs frozen CSQ eval differ by {act_err:.2e}")
+            return 1
+        with Server(act_session, max_batch=8, max_wait_ms=1.0) as server:
+            act_served = np.stack(server.predict_many(list(images)))
+        served_err = float(np.abs(act_served - act_logits).max())
+        if served_err > 1e-6:
+            print(f"serve smoke FAILED: act4 served logits differ from session by {served_err:.2e}")
+            return 1
+
     print(
-        f"serve smoke OK: parity {err:.1e}, "
+        f"serve smoke OK: parity {err:.1e}, act4 parity {act_err:.1e}, "
         f"{int(stats['served'])} requests in {int(stats['batches'])} batches "
         f"(mean batch {stats['mean_batch_size']:.1f})"
     )

@@ -33,6 +33,7 @@ def convert_to_csq(
     state: Optional[GateState] = None,
     gate_init: float = 1.0,
     mask_init: float = 0.1,
+    act_mode: str = "observer",
 ) -> Tuple[Module, GateState]:
     """Replace every Conv2d/Linear in ``model`` with a CSQ layer, in place.
 
@@ -46,6 +47,9 @@ def convert_to_csq(
     act_bits:
         Uniform activation precision (the tables' "A-Bits" column); 32 keeps
         activations in floating point.
+    act_mode:
+        How the activation clip range is obtained: ``"observer"`` (default,
+        moving-average range) or ``"pact"`` (learnable clipping threshold).
     trainable_mask:
         ``False`` gives the CSQ-Uniform mode of Table IV (fixed precision,
         no bit selection).
@@ -83,6 +87,7 @@ def convert_to_csq(
                     trainable_mask=trainable_mask,
                     gate_init=gate_init,
                     mask_init=mask_init,
+                    act_mode=act_mode,
                 )
                 module.add_module(child_name, replacement)
             elif isinstance(child, nn.Linear):
@@ -94,6 +99,7 @@ def convert_to_csq(
                     trainable_mask=trainable_mask,
                     gate_init=gate_init,
                     mask_init=mask_init,
+                    act_mode=act_mode,
                 )
                 module.add_module(child_name, replacement)
             else:
@@ -129,6 +135,12 @@ class QuantizedLayerExport:
     applied); the dequantized weight is ``q * scale / (2**num_bits - 1)``.
     ``config`` carries the geometry a runtime needs to re-instantiate the
     layer (channels/features, kernel, stride, padding).
+
+    When the layer quantizes its input activations (``act_bits < 32``),
+    ``act_range`` is the frozen clip range (observer moving-average maximum
+    or PACT alpha) and ``act_mode`` names which convention produced it —
+    everything an integer-activation runtime needs to replay the training
+    grid ``round(clip(x / r, 0, 1) * (2**act_bits - 1))``.
     """
 
     name: str
@@ -141,6 +153,8 @@ class QuantizedLayerExport:
     act_bits: int
     bias: Optional[np.ndarray]
     config: Dict[str, int]
+    act_mode: str = "observer"  #: ``"observer"`` or ``"pact"``
+    act_range: Optional[float] = None  #: frozen clip range; None when float
 
     @property
     def dequantized_weight(self) -> np.ndarray:
@@ -187,6 +201,8 @@ def export_quantized_layers(model: Module) -> List[QuantizedLayerExport]:
                 act_bits=layer.act_quant.bits,
                 bias=layer.bias.data.copy() if layer.bias is not None else None,
                 config=config,
+                act_mode=layer.act_quant.mode,
+                act_range=layer.act_quant.frozen_range(),
             )
         )
     if not exports:

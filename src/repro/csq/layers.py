@@ -38,6 +38,7 @@ class _CSQLayerBase(Module):
         trainable_mask: bool = True,
         gate_init: float = 1.0,
         mask_init: float = 0.1,
+        act_mode: str = "observer",
     ) -> None:
         super().__init__()
         self.state = state
@@ -59,7 +60,7 @@ class _CSQLayerBase(Module):
             self.bias = Parameter(np.asarray(bias, dtype=np.float32).copy())
         else:
             self.register_parameter("bias", None)
-        self.act_quant = ActivationQuantizer(bits=act_bits)
+        self.act_quant = ActivationQuantizer(bits=act_bits, mode=act_mode)
 
     # ------------------------------------------------------------------
     @property
@@ -93,12 +94,14 @@ class CSQConv2d(_CSQLayerBase):
         trainable_mask: bool = True,
         gate_init: float = 1.0,
         mask_init: float = 0.1,
+        act_mode: str = "observer",
     ) -> None:
         expected = (out_channels, in_channels, kernel_size, kernel_size)
         if tuple(weight.shape) != expected:
             raise ValueError(f"weight shape {weight.shape} does not match {expected}")
         super().__init__(
-            weight, bias, state, num_bits, act_bits, trainable_mask, gate_init, mask_init
+            weight, bias, state, num_bits, act_bits, trainable_mask, gate_init,
+            mask_init, act_mode,
         )
         self.in_channels = in_channels
         self.out_channels = out_channels
@@ -116,6 +119,7 @@ class CSQConv2d(_CSQLayerBase):
         trainable_mask: bool = True,
         gate_init: float = 1.0,
         mask_init: float = 0.1,
+        act_mode: str = "observer",
     ) -> "CSQConv2d":
         """Build a CSQ convolution initialized from a float convolution."""
         bias = conv.bias.data if conv.bias is not None else None
@@ -133,6 +137,7 @@ class CSQConv2d(_CSQLayerBase):
             trainable_mask=trainable_mask,
             gate_init=gate_init,
             mask_init=mask_init,
+            act_mode=act_mode,
         )
 
     def forward(self, x: Tensor) -> Tensor:
@@ -156,12 +161,14 @@ class CSQLinear(_CSQLayerBase):
         trainable_mask: bool = True,
         gate_init: float = 1.0,
         mask_init: float = 0.1,
+        act_mode: str = "observer",
     ) -> None:
         expected = (out_features, in_features)
         if tuple(weight.shape) != expected:
             raise ValueError(f"weight shape {weight.shape} does not match {expected}")
         super().__init__(
-            weight, bias, state, num_bits, act_bits, trainable_mask, gate_init, mask_init
+            weight, bias, state, num_bits, act_bits, trainable_mask, gate_init,
+            mask_init, act_mode,
         )
         self.in_features = in_features
         self.out_features = out_features
@@ -176,6 +183,7 @@ class CSQLinear(_CSQLayerBase):
         trainable_mask: bool = True,
         gate_init: float = 1.0,
         mask_init: float = 0.1,
+        act_mode: str = "observer",
     ) -> "CSQLinear":
         """Build a CSQ linear layer initialized from a float linear layer."""
         bias = linear.bias.data if linear.bias is not None else None
@@ -190,6 +198,7 @@ class CSQLinear(_CSQLayerBase):
             trainable_mask=trainable_mask,
             gate_init=gate_init,
             mask_init=mask_init,
+            act_mode=act_mode,
         )
 
     def forward(self, x: Tensor) -> Tensor:

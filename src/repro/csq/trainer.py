@@ -57,6 +57,7 @@ class CSQConfig:
     warmup_epochs: int = 0
     num_bits: int = 8
     act_bits: int = 32
+    act_mode: str = "observer"  #: activation clip convention ("observer"/"pact")
     target_bits: float = 3.0
     base_strength: float = 0.01
     beta0: float = 1.0
@@ -94,6 +95,7 @@ class CSQTrainer:
             model,
             num_bits=self.config.num_bits,
             act_bits=self.config.act_bits,
+            act_mode=self.config.act_mode,
             trainable_mask=self.config.trainable_mask,
             skip_layers=self.config.skip_layers,
             gate_init=self.config.gate_init,

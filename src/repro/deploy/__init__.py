@@ -8,9 +8,12 @@ the serving side:
   ``.npz`` file with bit-packed weight codes at each layer's *learned*
   precision, per-layer scales, BatchNorm state and a JSON manifest,
 * :mod:`repro.deploy.plan` — compiles a model skeleton into a flat list of
-  fused NumPy steps (conv+BN+ReLU as one GEMM + affine),
+  fused NumPy steps (conv+BN+ReLU as one GEMM + affine; activation-quantized
+  layers additionally snap their input onto the frozen integer grid, making
+  the GEMM integer-code × integer-code),
 * :mod:`repro.deploy.session` — :class:`InferenceSession`, the autograd-free
-  runtime executing a plan,
+  runtime executing a plan (integer activations compiled automatically when
+  the manifest carries frozen clip ranges),
 * :mod:`repro.deploy.server` — :class:`Server`, a threaded serving engine
   with dynamic micro-batching, an LRU response cache and latency stats.
 
@@ -25,7 +28,13 @@ from repro.deploy.artifact import (
     load_artifact,
     save_artifact,
 )
-from repro.deploy.plan import PlanError, compile_plan, plan_summary, register_plan_handler
+from repro.deploy.plan import (
+    ActQuantSpec,
+    PlanError,
+    compile_plan,
+    plan_summary,
+    register_plan_handler,
+)
 from repro.deploy.session import InferenceSession
 from repro.deploy.server import Server, ServerStats
 
@@ -38,6 +47,7 @@ __all__ = [
     "QuantizedTensorRecord",
     "save_artifact",
     "load_artifact",
+    "ActQuantSpec",
     "PlanError",
     "compile_plan",
     "plan_summary",

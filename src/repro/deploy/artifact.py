@@ -42,7 +42,17 @@ from repro.quant.functional import dequantize_codes
 from repro.quant.scheme import QuantizationScheme
 from repro.deploy.packing import PackedCodes, pack_codes, unpack_codes
 
-FORMAT_VERSION = 1
+#: Version written by :func:`save_artifact`.  History:
+#:
+#: * **1** — packed weight codes, per-layer ``act_bits`` (informational only;
+#:   the runtime executed activations in float32),
+#: * **2** — adds per-layer frozen activation-quantization parameters
+#:   (``act_mode``, ``act_range``) so the runtime can serve ``act_bits < 32``
+#:   models on the integer activation grid they trained with.
+FORMAT_VERSION = 2
+#: Versions :func:`load_artifact` accepts.  Version-1 artifacts carry no
+#: activation ranges and load with float activation semantics.
+SUPPORTED_VERSIONS = (1, 2)
 _MANIFEST_KEY = "manifest"
 _FLOATS_KEY = "floats"
 _CODES_PREFIX = "q::"
@@ -68,6 +78,8 @@ class QuantizedTensorRecord:
     config: Dict[str, int]
     bias: Optional[np.ndarray] = None
     packed_bits: int = 0  #: packed width per element this layer used on disk
+    act_mode: str = "observer"  #: activation clip convention (``observer``/``pact``)
+    act_range: Optional[float] = None  #: frozen activation clip range; None = float
 
     @property
     def dequant_factor(self) -> float:
@@ -213,6 +225,8 @@ def save_artifact(
                 "precision": int(export.precision),
                 "selected_bits": export.selected_bits,
                 "act_bits": int(export.act_bits),
+                "act_mode": export.act_mode,
+                "act_range": None if export.act_range is None else float(export.act_range),
                 "config": export.config,
                 "has_bias": export.bias is not None,
                 "pack": {"bits": packed.bits, "offset": packed.offset, "count": packed.count},
@@ -230,6 +244,8 @@ def save_artifact(
             config=export.config,
             bias=None if export.bias is None else export.bias.astype(np.float32),
             packed_bits=packed.bits,
+            act_mode=export.act_mode,
+            act_range=None if export.act_range is None else float(export.act_range),
         )
 
     # Everything that is not CSQ bit-level state rides along as dense float:
@@ -302,10 +318,10 @@ def load_artifact(path: str) -> Artifact:
             raise ArtifactError(f"{path} is not a repro deployment artifact (no manifest)")
         manifest = json.loads(bytes(archive[_MANIFEST_KEY]).decode("utf-8"))
         version = manifest.get("format_version")
-        if version != FORMAT_VERSION:
+        if version not in SUPPORTED_VERSIONS:
             raise ArtifactError(
                 f"Artifact format version {version!r} is not supported "
-                f"(this build reads version {FORMAT_VERSION})"
+                f"(this build reads versions {SUPPORTED_VERSIONS})"
             )
         quantized: Dict[str, QuantizedTensorRecord] = {}
         for entry in manifest["layers"]:
@@ -319,6 +335,9 @@ def load_artifact(path: str) -> Artifact:
                 shape=tuple(entry["shape"]),
             )
             bias_key = _BIAS_PREFIX + name
+            # Version-1 entries carry no activation range: act_range stays
+            # None and the session falls back to float activation semantics.
+            act_range = entry.get("act_range")
             quantized[name] = QuantizedTensorRecord(
                 name=name,
                 kind=entry["kind"],
@@ -331,6 +350,8 @@ def load_artifact(path: str) -> Artifact:
                 config={k: int(v) for k, v in entry["config"].items()},
                 bias=archive[bias_key].copy() if bias_key in archive else None,
                 packed_bits=int(pack["bits"]),
+                act_mode=str(entry.get("act_mode", "observer")),
+                act_range=None if act_range is None else float(act_range),
             )
         blob = archive[_FLOATS_KEY] if _FLOATS_KEY in archive else np.zeros(0, dtype=np.float32)
         floats = {}

@@ -10,8 +10,14 @@ activations:
   the integer weight matrix, and a per-output-channel affine that folds the
   dequantization factor, the BN scale/shift and the conv bias — dequantized
   exactly once, in the output domain;
-* a linear layer keeps its integer matrix and applies the dequantization
-  scalar to the GEMM output;
+* a linear layer keeps its integer matrix and applies the per-feature
+  output affine (dequantization, folded BN) to the GEMM output;
+* a layer whose artifact record carries a frozen activation range
+  (``act_bits < 32``) additionally *quantizes its input* onto the training
+  grid — ``round(clip(x / r, 0, 1) * (2**a - 1))`` — so the GEMM runs
+  integer weight codes against integer activation codes and the combined
+  ``w_scale * a_scale`` dequantization folds into the same output affine
+  (see :class:`ActQuantSpec`);
 * residual blocks become one step holding the compiled main/shortcut
   sub-plans, so the top-level plan stays a flat sequence.
 
@@ -31,12 +37,93 @@ import numpy as np
 from repro.autograd.ops import im2col
 from repro.deploy.artifact import QuantizedTensorRecord
 from repro.nn.module import Module
+from repro.quant.act_quant import RANGE_FLOOR
 from repro.runtime.arena import BufferArena
 from repro.runtime.threadpool import parallel_gemm
 
 
 class PlanError(ValueError):
     """Raised when a model cannot be compiled into a layer plan."""
+
+
+class ActQuantSpec:
+    """Frozen activation quantization of one layer input.
+
+    Replays the eval-time forward of the training-side quantizers with the
+    serialized clip range ``r``:
+
+    * ``mode="observer"`` (:class:`~repro.quant.fake_quant.FakeQuantize`):
+      ``codes = round(clip(x * (1/r), 0, 1) * levels)``,
+    * ``mode="pact"`` (PACT): ``codes = round((clip(x, 0, r) / d) * levels)``
+      with ``d = max(r, RANGE_FLOOR)`` — PACT's training forward clips to
+      the *raw* learned alpha but divides by the floored one, and the two
+      only coincide for ``r >= RANGE_FLOOR``.
+
+    The modes otherwise differ only in whether the range is applied as a
+    reciprocal multiply or a divide — matched operation-for-operation so
+    serving stays on the exact rounding boundaries training saw.  Codes are
+    integer-valued float32 in ``[0, levels]``; the dequantization factor
+    ``d / levels`` (``scale``) is folded into the owning step's output
+    affine, never applied per element.
+    """
+
+    __slots__ = ("bits", "mode", "range", "levels", "divisor", "scale")
+
+    def __init__(self, bits: int, mode: str, range_: float) -> None:
+        if not 1 <= bits < 32:
+            raise PlanError(f"ActQuantSpec needs 1 <= bits < 32, got {bits}")
+        if range_ <= 0.0:
+            raise PlanError(f"ActQuantSpec needs a positive clip range, got {range_}")
+        if mode not in ("observer", "pact"):
+            raise PlanError(f"Unknown activation quantization mode {mode!r}")
+        self.bits = bits
+        self.mode = mode
+        self.range = float(range_)
+        self.levels = 2 ** bits - 1
+        # Observer ranges arrive pre-floored from export (training floors
+        # them before both the clip and the scale); PACT floors only the
+        # divisor, keeping the raw alpha as the clip bound.
+        self.divisor = max(self.range, RANGE_FLOOR) if mode == "pact" else self.range
+        self.scale = self.divisor / float(self.levels)
+
+    @classmethod
+    def from_record(cls, record: QuantizedTensorRecord) -> Optional["ActQuantSpec"]:
+        """The spec an artifact record implies; ``None`` for float activations."""
+        if record.act_bits >= 32 or record.act_range is None:
+            return None
+        return cls(record.act_bits, record.act_mode, record.act_range)
+
+    def quantize(self, x: np.ndarray, arena: BufferArena) -> np.ndarray:
+        """Integer activation codes of ``x`` in an arena-backed scratch buffer.
+
+        Ownership of the returned buffer transfers to the caller (release it
+        back to ``arena`` once the GEMM gather has consumed it).  The buffer
+        matches ``x``'s memory layout (``empty_like``), not just its shape:
+        conv steps hand over transposed views of their output stores, and a
+        layout-matched destination lets every ufunc pass iterate in memory
+        order — quantizing into a C-contiguous buffer from such a view costs
+        ~40% more on the strided traversal alone.
+        """
+        codes = arena.empty_like(x) if x.dtype == np.float32 else arena.empty(x.shape, np.float32)
+        if self.mode == "pact":
+            np.clip(x, 0.0, self.range, out=codes)
+            codes /= self.divisor
+        else:
+            np.multiply(x, 1.0 / self.range, out=codes)
+            np.clip(codes, 0.0, 1.0, out=codes)
+        codes *= self.levels
+        # rint == round(decimals=0) bit-for-bit (round dispatches to rint),
+        # minus several microseconds of wrapper overhead per call — this runs
+        # once per quantized layer per batch.
+        np.rint(codes, out=codes)
+        return codes
+
+    def dequantize(self, codes: np.ndarray) -> np.ndarray:
+        """Map codes back to the float activation grid (``codes * r/levels``)."""
+        return np.asarray(codes, dtype=np.float32) * np.float32(self.scale)
+
+    def describe(self) -> str:
+        return f"aq{self.bits}"
 
 
 # ---------------------------------------------------------------------------
@@ -57,13 +144,17 @@ class Step:
 
 
 class ConvStep(Step):
-    """Fused conv → (BN) → (ReLU): one GEMM plus a per-channel affine.
+    """Fused (act-quantize) → conv → (BN) → (ReLU): one GEMM plus an affine.
 
     ``w_mat`` holds the raw integer codes (as float32 for the GEMM);
     ``mult``/``shift`` are the folded output-domain affine:
     ``mult = dequant * gamma / sqrt(var + eps)`` and
     ``shift = (bias - mean) * gamma / sqrt(var + eps) + beta`` when a BN
-    layer was folded, or plain dequantization and bias otherwise.
+    layer was folded, or plain dequantization and bias otherwise.  With an
+    ``act_quant`` spec the input is first snapped to integer activation
+    codes (arena scratch), the GEMM multiplies codes by codes, and the
+    activation scale ``r / levels`` rides in ``mult`` alongside the weight
+    dequantization — the caller folds it in when constructing the step.
 
     The im2col column matrix is drawn from (and released back to) the
     plan's shared :class:`~repro.runtime.arena.BufferArena`, so all conv
@@ -88,6 +179,7 @@ class ConvStep(Step):
         padding: int,
         relu: bool = False,
         arena: Optional[BufferArena] = None,
+        act_quant: Optional[ActQuantSpec] = None,
     ) -> None:
         self.name = name
         self.w_mat = np.ascontiguousarray(w_mat, dtype=np.float32)
@@ -98,6 +190,7 @@ class ConvStep(Step):
         self.stride = stride
         self.padding = padding
         self.relu = relu
+        self.act_quant = act_quant
         self.arena = arena if arena is not None else BufferArena(f"plan:{name}")
         # Flat backing store sliced per call: a prefix slice of a flat
         # buffer reshapes to a contiguous (rows, columns) matrix, so varying
@@ -122,9 +215,15 @@ class ConvStep(Step):
         if self._out_store.size < self.out_channels * columns:
             self._out_store = np.empty(self.out_channels * columns, dtype=np.float32)
         out = self._out_store[: self.out_channels * columns].reshape(self.out_channels, columns)
-        # The column matrix is pure scratch within this call: gather, GEMM,
+        # The column matrix (and, on the integer-activation path, the code
+        # buffer) is pure scratch within this call: quantize, gather, GEMM,
         # release — every conv step of the plan shares the arena's blocks.
-        cols = im2col(x, k, k, stride, self.padding, self.arena)
+        if self.act_quant is not None:
+            codes = self.act_quant.quantize(x, self.arena)
+            cols = im2col(codes, k, k, stride, self.padding, self.arena)
+            self.arena.release(codes)
+        else:
+            cols = im2col(x, k, k, stride, self.padding, self.arena)
         parallel_gemm(self.w_mat, cols, out=out)
         self.arena.release(cols)
         out *= self.mult
@@ -135,13 +234,20 @@ class ConvStep(Step):
         return out.reshape(self.out_channels, batch, out_h, out_w).transpose(1, 0, 2, 3)
 
     def describe(self) -> str:
-        tail = "+bn" if self.shift is not None else ""
+        tail = f"+{self.act_quant.describe()}" if self.act_quant is not None else ""
+        tail += "+bn" if self.shift is not None else ""
         tail += "+relu" if self.relu else ""
         return f"conv[{self.name}]{tail}"
 
 
 class LinearStep(Step):
-    """Fused linear → (BN) → (ReLU): integer GEMM, output-domain dequantization."""
+    """Fused (act-quantize) → linear → (BN) → (ReLU): integer GEMM + affine.
+
+    The weight matrix keeps its raw integer codes; dequantization (times the
+    activation scale when the input is quantized) and a folded BatchNorm1d
+    both live in the per-feature output affine, mirroring :class:`ConvStep` —
+    the GEMM itself is always codes × codes on the integer-activation path.
+    """
 
     def __init__(
         self,
@@ -150,27 +256,37 @@ class LinearStep(Step):
         dequant: float,
         bias: Optional[np.ndarray],
         relu: bool = False,
+        arena: Optional[BufferArena] = None,
+        act_quant: Optional[ActQuantSpec] = None,
     ) -> None:
         self.name = name
         # Pre-transpose once so the hot path is a single ``x @ w_t``.
         self.w_t = np.ascontiguousarray(w_mat.T, dtype=np.float32)
-        self.dequant = float(dequant)
+        #: Per-feature (or scalar) output multiplier; ``None`` skips the pass.
+        self.mult: Optional[np.ndarray] = None if dequant == 1.0 else np.float32(dequant)
         self.bias = None if bias is None else bias.astype(np.float32)
         self.relu = relu
+        self.act_quant = act_quant
+        self.arena = arena if arena is not None else BufferArena(f"plan:{name}")
         self._folded_bn = False
 
     def fold_bn(self, gamma_invstd: np.ndarray, shift: np.ndarray) -> None:
-        """Fold a following BatchNorm1d into the weight columns and bias."""
-        self.w_t = self.w_t * (self.dequant * gamma_invstd[None, :])
-        self.dequant = 1.0
-        base = 0.0 if self.bias is None else self.bias
-        self.bias = (base * gamma_invstd + shift).astype(np.float32)
+        """Fold a following BatchNorm1d into the output affine."""
+        base_mult = np.float32(1.0) if self.mult is None else self.mult
+        self.mult = (base_mult * gamma_invstd).astype(np.float32)
+        base_bias = 0.0 if self.bias is None else self.bias
+        self.bias = (base_bias * gamma_invstd + shift).astype(np.float32)
         self._folded_bn = True
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
-        out = x @ self.w_t
-        if self.dequant != 1.0:
-            out *= self.dequant
+        if self.act_quant is not None:
+            codes = self.act_quant.quantize(x, self.arena)
+            out = codes @ self.w_t
+            self.arena.release(codes)
+        else:
+            out = x @ self.w_t
+        if self.mult is not None:
+            out *= self.mult
         if self.bias is not None:
             out += self.bias
         if self.relu:
@@ -178,7 +294,8 @@ class LinearStep(Step):
         return out
 
     def describe(self) -> str:
-        tail = "+bn" if self._folded_bn else ""
+        tail = f"+{self.act_quant.describe()}" if self.act_quant is not None else ""
+        tail += "+bn" if self._folded_bn else ""
         tail += "+relu" if self.relu else ""
         return f"linear[{self.name}]{tail}"
 
@@ -301,20 +418,30 @@ class ResidualStep(Step):
 
 
 class PlanBuilder:
-    """Accumulates steps while walking a module tree, fusing as it goes."""
+    """Accumulates steps while walking a module tree, fusing as it goes.
+
+    ``float_activations=True`` compiles every layer with float activation
+    semantics even when its record carries a frozen activation range — the
+    explicit escape hatch :class:`~repro.deploy.session.InferenceSession`
+    exposes; the default honors the ranges and emits integer-activation
+    steps.
+    """
 
     def __init__(
         self,
         weights: Dict[int, QuantizedTensorRecord],
         arena: Optional[BufferArena] = None,
+        float_activations: bool = False,
     ) -> None:
         self.weights = weights
         self.arena = arena if arena is not None else BufferArena("plan")
+        self.float_activations = float_activations
         self.steps: List[Step] = []
 
     # -- leaf emitters --------------------------------------------------
     def _conv_record(self, module: Module, name: str):
         record = self.weights.get(id(module))
+        act_quant = None
         if record is not None:
             # Memoize the float GEMM matrix on the record: plan steps only
             # read it, so every session cloned from the same artifact (one
@@ -329,15 +456,21 @@ class PlanBuilder:
                 record._w_mat_f32 = w_mat
             dequant = record.dequant_factor
             bias = record.bias
+            if not self.float_activations:
+                act_quant = ActQuantSpec.from_record(record)
+            if act_quant is not None:
+                # The GEMM output is codes x codes: both the weight and the
+                # activation dequantization fold into one output multiplier.
+                dequant = dequant * act_quant.scale
         else:
             weight = module.weight.data
             w_mat = weight.reshape(weight.shape[0], -1).astype(np.float32)
             dequant = 1.0
             bias = None if module.bias is None else module.bias.data
-        return w_mat, dequant, bias
+        return w_mat, dequant, bias, act_quant
 
     def conv(self, module: Module, name: str) -> None:
-        w_mat, dequant, bias = self._conv_record(module, name)
+        w_mat, dequant, bias, act_quant = self._conv_record(module, name)
         out_channels = w_mat.shape[0]
         mult = np.full(out_channels, dequant, dtype=np.float32)
         shift = None if bias is None else bias.astype(np.float32)
@@ -351,6 +484,7 @@ class PlanBuilder:
                 stride=module.stride,
                 padding=module.padding,
                 arena=self.arena,
+                act_quant=act_quant,
             )
         )
 
@@ -358,8 +492,10 @@ class PlanBuilder:
         # A quantized record's bias is authoritative — like the conv path,
         # never fall back to the skeleton module's (randomly initialized)
         # bias when the record says the layer has none.
-        w_mat, dequant, bias = self._conv_record(module, name)
-        self.steps.append(LinearStep(name, w_mat, dequant, bias))
+        w_mat, dequant, bias, act_quant = self._conv_record(module, name)
+        self.steps.append(
+            LinearStep(name, w_mat, dequant, bias, arena=self.arena, act_quant=act_quant)
+        )
 
     def batch_norm(self, module: Module, name: str) -> None:
         invstd = 1.0 / np.sqrt(module.running_var.data + module.eps)
@@ -383,7 +519,9 @@ class PlanBuilder:
 
     # -- composition ----------------------------------------------------
     def subplan(self) -> "PlanBuilder":
-        return PlanBuilder(self.weights, arena=self.arena)
+        return PlanBuilder(
+            self.weights, arena=self.arena, float_activations=self.float_activations
+        )
 
     def compile(self, module: Module, name: str) -> None:
         """Dispatch one module (leaf or composite) into the step stream."""
@@ -395,6 +533,48 @@ class PlanBuilder:
             f"No plan handler for module type {type(module).__name__!r} (at {name!r}); "
             f"register one with repro.deploy.plan.register_plan_handler"
         )
+
+
+def _quantizes_every_input(step: Step) -> bool:
+    """True when every path ``step`` routes its input through starts with an
+    activation quantizer — i.e. the input is always re-clipped at zero."""
+    if isinstance(step, (ConvStep, LinearStep)):
+        return step.act_quant is not None
+    if isinstance(step, ResidualStep):
+        return (
+            bool(step.main)
+            and _quantizes_every_input(step.main[0])
+            and bool(step.shortcut)
+            and _quantizes_every_input(step.shortcut[0])
+        )
+    return False
+
+
+def _elide_subsumed_relus(steps: List[Step]) -> List[Step]:
+    """Drop ReLUs whose sole consumer re-clips at zero while quantizing.
+
+    In a flat step list, step ``i``'s output feeds exactly step ``i + 1``.
+    When that consumer quantizes its input, the quantizer's ``clip(·, 0, r)``
+    maps every negative value to code 0 — exactly what a preceding ReLU
+    would have produced — so the ReLU pass is bit-for-bit redundant and the
+    integer-activation plan saves one full-tensor pass per such pair.  A
+    residual consumer qualifies only when *both* its branches quantize (an
+    identity shortcut would leak the un-rectified tensor into the add).
+    """
+    for step in steps:
+        if isinstance(step, ResidualStep):
+            step.main = _elide_subsumed_relus(step.main)
+            step.shortcut = _elide_subsumed_relus(step.shortcut)
+    out: List[Step] = []
+    for index, step in enumerate(steps):
+        successor = steps[index + 1] if index + 1 < len(steps) else None
+        if successor is not None and _quantizes_every_input(successor):
+            if isinstance(step, ReluStep):
+                continue
+            if isinstance(step, (ConvStep, LinearStep, ResidualStep)) and step.relu:
+                step.relu = False
+        out.append(step)
+    return out
 
 
 #: module class name -> handler(builder, module, qualified_name)
@@ -416,19 +596,22 @@ def compile_plan(
     model: Module,
     weights: Dict[int, QuantizedTensorRecord],
     arena: Optional[BufferArena] = None,
+    float_activations: bool = False,
 ) -> List[Step]:
     """Compile ``model`` (an eval-mode float skeleton) into a flat step list.
 
     ``weights`` maps ``id(module)`` of conv/linear modules to their artifact
     records; modules without a record fall back to their dense float weight.
+    Records carrying a frozen activation range compile to integer-activation
+    steps unless ``float_activations=True`` forces float semantics.
     All scratch-hungry steps share ``arena`` (one is created when omitted);
     callers running plans concurrently should pass per-plan arenas.
     """
-    builder = PlanBuilder(weights, arena=arena)
+    builder = PlanBuilder(weights, arena=arena, float_activations=float_activations)
     builder.compile(model, "")
     if not builder.steps:
         raise PlanError(f"Model {type(model).__name__} compiled to an empty plan")
-    return builder.steps
+    return _elide_subsumed_relus(builder.steps)
 
 
 def plan_summary(steps: List[Step]) -> str:

@@ -4,8 +4,15 @@ An :class:`InferenceSession` owns a loaded artifact and a compiled flat
 layer plan (see :mod:`repro.deploy.plan`).  ``run`` takes an NCHW (or NF)
 float32 batch and returns logits; nothing on the hot path allocates a
 ``Tensor``, records a graph node, or touches the training stack — the only
-per-layer work is the im2col gather, one GEMM against the integer weight
-matrix, and the folded output affine.
+per-layer work is (for activation-quantized layers) the snap of the input
+onto its integer grid, the im2col gather, one GEMM against the integer
+weight matrix, and the folded output affine.
+
+Artifacts whose manifest carries frozen activation clip ranges
+(``act_bits < 32``, format version >= 2) compile to the integer-activation
+plan automatically: each quantized layer replays the exact training-time
+grid ``round(clip(x / r, 0, 1) * (2**a - 1))``, so serving matches the
+frozen CSQ model the artifact was validated as — no opt-in needed.
 """
 
 from __future__ import annotations
@@ -30,12 +37,16 @@ class InferenceSession:
         pure NumPy afterwards.
 
     float_activations:
-        The runtime executes activations in float32; a model trained with
-        ``act_bits < 32`` would therefore serve (slightly) different
-        numbers than the frozen CSQ model it was validated as.  Loading
-        such an artifact raises unless ``float_activations=True``
-        explicitly accepts that divergence.  (Integer activation support is
-        a ROADMAP item; the manifest already carries ``act_bits``.)
+        Explicit override: compile the plan with float32 activations even
+        when the artifact carries frozen activation ranges.  Served numbers
+        then diverge from the validated ``act_bits < 32`` model (activations
+        skip their quantization grid), which is occasionally useful to
+        isolate how much accuracy the activation grid costs — never the
+        default.  The flag is also the only way to load a *version-1*
+        artifact of an activation-quantized model: those manifests predate
+        the range fields, the grid cannot be reconstructed, and loading one
+        without the override raises (re-export the model for faithful
+        integer-activation serving).
 
     ``run`` is **not re-entrant**: conv steps reuse GEMM output buffers
     across calls, so a session must not execute two batches concurrently.
@@ -53,15 +64,24 @@ class InferenceSession:
             artifact = load_artifact(artifact)
         self.artifact = artifact
         self._float_activations = float_activations
-        quantized_acts = sorted(
-            name for name, rec in artifact.quantized.items() if rec.act_bits < 32
+        # Ranged layers serve on their integer activation grid; rangeless
+        # act_bits < 32 layers (version-1 manifests) cannot.
+        rangeless = sorted(
+            name
+            for name, rec in artifact.quantized.items()
+            if rec.act_bits < 32 and rec.act_range is None
         )
-        if quantized_acts and not float_activations:
+        if rangeless and not float_activations:
             raise ArtifactError(
-                f"Artifact layers {quantized_acts} were trained with quantized "
-                f"activations (act_bits < 32), which this runtime executes in "
-                f"float32 — served outputs would differ from the validated "
-                f"model.  Pass float_activations=True to accept that."
+                f"Artifact layers {rangeless} were trained with quantized "
+                f"activations (act_bits < 32) but carry no frozen clip range — "
+                f"a format-version-1 manifest predating the activation-range "
+                f"fields — so the training-time activation grid cannot be "
+                f"replayed and served outputs would differ from the validated "
+                f"model.  Re-export the model to a current artifact for "
+                f"faithful integer-activation serving, or pass "
+                f"float_activations=True to explicitly accept float32 "
+                f"activation semantics."
             )
         # The skeleton provides structure and the BatchNorm constants the
         # plan folds; its (dequantized) weights are not used on the hot path.
@@ -71,7 +91,9 @@ class InferenceSession:
         for name, record in artifact.quantized.items():
             weights[id(modules[name])] = record
         self.arena = BufferArena("session")
-        self.plan: List[Step] = compile_plan(skeleton, weights, arena=self.arena)
+        self.plan: List[Step] = compile_plan(
+            skeleton, weights, arena=self.arena, float_activations=float_activations
+        )
         self._calls = 0
         self._examples = 0
 
@@ -95,11 +117,27 @@ class InferenceSession:
     def precision_map(self) -> Dict[str, int]:
         return self.artifact.precision_map
 
+    @property
+    def activation_mode(self) -> str:
+        """``"integer"`` when any plan step quantizes its input, else ``"float"``."""
+
+        def quantizes(steps) -> bool:
+            for step in steps:
+                if getattr(step, "act_quant", None) is not None:
+                    return True
+                if hasattr(step, "main") and (
+                    quantizes(step.main) or quantizes(step.shortcut)
+                ):
+                    return True
+            return False
+
+        return "integer" if quantizes(self.plan) else "float"
+
     def summary(self) -> str:
         header = (
             f"InferenceSession(arch={self.arch!r}, "
             f"avg_precision={self.artifact.scheme().average_precision:.2f}, "
-            f"steps={len(self.plan)})"
+            f"steps={len(self.plan)}, activations={self.activation_mode})"
         )
         return header + "\n" + plan_summary(self.plan)
 

@@ -4,12 +4,15 @@ The deployment tests/benches need a frozen CSQ model with *known* mixed
 per-layer precisions rather than trained ones; this helper sets the mask
 parameters directly (low ``p`` bit planes selected, cycling through
 ``precisions``) and optionally randomizes BatchNorm running statistics so
-BN folding is exercised with non-trivial values.
+BN folding is exercised with non-trivial values.  For activation-quantized
+models (``act_bits < 32``) it runs a few seeded calibration batches through
+the observer path so every layer freezes a non-trivial per-layer clip range
+(PACT mode needs none — the range is its ``alpha`` parameter).
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -17,6 +20,7 @@ from repro.csq.convert import convert_to_csq, freeze_model
 from repro.csq.precision import csq_layers
 from repro.models import create_model
 from repro.nn.module import Module
+from repro.quant.act_quant import calibrate_activations
 
 
 def frozen_mixed_model(
@@ -24,10 +28,20 @@ def frozen_mixed_model(
     precisions: Sequence[int] = (2, 3, 4, 5, 8),
     seed: int = 1,
     act_bits: int = 32,
+    act_mode: str = "observer",
     randomize_bn: bool = True,
+    calibration_shape: Optional[Tuple[int, ...]] = None,
+    calibration_batches: int = 3,
     **arch_kwargs,
 ) -> Module:
-    """A frozen CSQ model with deterministic mixed per-layer precisions."""
+    """A frozen CSQ model with deterministic mixed per-layer precisions.
+
+    ``calibration_shape`` is the full batch shape (e.g. ``(4, 3, 12, 12)``)
+    of the seeded standard-normal batches fed through the activation
+    observers when ``act_bits < 32`` in observer mode; without it those
+    observers keep their default ``(0, 1)`` range, which still serves but
+    exercises only a trivial grid.
+    """
     model = create_model(arch, **arch_kwargs)
     if randomize_bn:
         rng = np.random.default_rng(seed)
@@ -39,11 +53,21 @@ def frozen_mixed_model(
                 module.running_var.data = (
                     np.abs(rng.standard_normal(module.running_var.data.shape)) + 0.5
                 ).astype(np.float32)
-    model, _ = convert_to_csq(model, num_bits=8, act_bits=act_bits)
+    model, _ = convert_to_csq(model, num_bits=8, act_bits=act_bits, act_mode=act_mode)
     for index, (_, layer) in enumerate(csq_layers(model)):
         bits = precisions[index % len(precisions)]
         mask = np.full(layer.num_bits, -1.0, dtype=np.float32)
         mask[:bits] = 1.0
         layer.bitparam.m_b.data = mask
+    if act_bits < 32 and act_mode == "observer" and calibration_shape is not None:
+        model.eval()  # calibration must not disturb the BN running statistics
+        rng = np.random.default_rng(seed + 1)
+        calibrate_activations(
+            model,
+            (
+                rng.standard_normal(calibration_shape).astype(np.float32)
+                for _ in range(calibration_batches)
+            ),
+        )
     freeze_model(model)
     return model

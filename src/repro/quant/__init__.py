@@ -30,7 +30,7 @@ from repro.quant.functional import (
 from repro.quant.ste import ste_round, ste_sign, ste_clamp
 from repro.quant.observers import MinMaxObserver, MovingAverageMinMaxObserver
 from repro.quant.fake_quant import FakeQuantize, WeightFakeQuantize
-from repro.quant.act_quant import ActivationQuantizer
+from repro.quant.act_quant import ActivationQuantizer, calibrate_activations
 from repro.quant.dorefa import DoReFaWeightQuantizer, DoReFaActivationQuantizer
 from repro.quant.pact import PACTActivationQuantizer
 from repro.quant.lqnets import LQNetsWeightQuantizer
@@ -53,6 +53,7 @@ __all__ = [
     "FakeQuantize",
     "WeightFakeQuantize",
     "ActivationQuantizer",
+    "calibrate_activations",
     "DoReFaWeightQuantizer",
     "DoReFaActivationQuantizer",
     "PACTActivationQuantizer",

@@ -10,14 +10,27 @@ Two modes are supported:
 * ``mode="observer"`` — clip to a moving-average observed range (default),
 * ``mode="pact"`` — learnable clipping threshold (PACT), used when
   reproducing the PACT baseline rows.
+
+``frozen_range`` exposes the clip range a deployment runtime must replay to
+serve the trained model faithfully (the observer's moving-average maximum,
+or the learned PACT alpha); ``calibrate_activations`` populates observer
+ranges on a model that never trained (or whose observers were reset).
 """
 
 from __future__ import annotations
 
+from typing import Iterable, Optional
+
+import numpy as np
+
 from repro import nn
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, no_grad
 from repro.quant.fake_quant import FakeQuantize
 from repro.quant.pact import PACTActivationQuantizer
+
+#: Lower clamp applied to every exported clip range, mirroring the
+#: ``max(upper, 1e-5)`` guard in the training-time forward passes.
+RANGE_FLOOR = 1e-5
 
 
 class ActivationQuantizer(nn.Module):
@@ -39,5 +52,56 @@ class ActivationQuantizer(nn.Module):
     def forward(self, x: Tensor) -> Tensor:
         return self.impl(x)
 
+    def frozen_range(self) -> Optional[float]:
+        """The clip range an inference runtime must replay; ``None`` when float.
+
+        For the observer mode this is the moving-average maximum, clamped to
+        :data:`RANGE_FLOOR` exactly as the training forward clamps it (the
+        floored value is both the clip bound and the scale there).  For PACT
+        the *raw* learned ``alpha`` is exported: the training forward clips
+        to raw alpha but divides by ``max(alpha, RANGE_FLOOR)``, and the
+        runtime replays that same split (see
+        :class:`repro.deploy.plan.ActQuantSpec`) — exporting a floored alpha
+        would serve a wider clip than the model trained with.  A degenerate
+        non-positive alpha (clip degenerates to empty) is exported as the
+        floor, the closest serveable grid.
+        """
+        if self.bits >= 32:
+            return None
+        if self.mode == "observer":
+            _, upper = self.impl.observer.range()
+            return max(float(upper), RANGE_FLOOR)
+        alpha = float(self.impl.alpha.data.reshape(-1)[0])
+        return alpha if alpha > 0.0 else RANGE_FLOOR
+
     def extra_repr(self) -> str:
         return f"bits={self.bits}, mode={self.mode!r}"
+
+
+def calibrate_activations(model: nn.Module, batches: Iterable[np.ndarray]) -> int:
+    """Populate activation-observer ranges by running forward passes.
+
+    Only the :class:`FakeQuantize` activation quantizers are flipped to
+    training mode (so their observers record), everything else — BatchNorm
+    running statistics in particular — stays in its current mode.  Returns
+    the number of calibration batches consumed.
+
+    PACT quantizers carry their range in the learned ``alpha`` parameter and
+    need no calibration; they are left untouched.
+    """
+    observers = [
+        module for _, module in model.named_modules() if isinstance(module, FakeQuantize)
+    ]
+    previous = [module.training for module in observers]
+    for module in observers:
+        module.training = True
+    consumed = 0
+    try:
+        with no_grad():
+            for batch in batches:
+                model(Tensor(np.ascontiguousarray(batch, dtype=np.float32)))
+                consumed += 1
+    finally:
+        for module, mode in zip(observers, previous):
+            module.training = mode
+    return consumed

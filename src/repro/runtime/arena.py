@@ -133,10 +133,15 @@ class BufferArena:
         if array.ndim <= 1 or array.flags["C_CONTIGUOUS"]:
             return self.empty(array.shape, array.dtype)
         # Axes ordered by descending stride describe the layout; allocate in
-        # that order and view back through the inverse permutation.
+        # that order and view back through the inverse permutation.  The
+        # inverse is built with a plain list rather than np.argsort — this
+        # runs per acquire on inference hot paths and the numpy machinery
+        # costs several microseconds per call.
         order = sorted(range(array.ndim), key=lambda i: -array.strides[i])
         permuted = self.empty(tuple(array.shape[i] for i in order), array.dtype)
-        inverse = np.argsort(order)
+        inverse = [0] * array.ndim
+        for position, axis in enumerate(order):
+            inverse[axis] = position
         return permuted.transpose(inverse)
 
     def release(self, array) -> None:

@@ -1,0 +1,118 @@
+"""Backward compatibility: PR-2-era (format version 1) artifacts still serve.
+
+A version-1 manifest predates the activation-range fields (``act_mode``,
+``act_range``): float-weight semantics were identical to today's, so a v1
+artifact of a float-activation model must load and serve **bit-identically**
+to its v2 re-export, while a v1 artifact of an ``act_bits < 32`` model — the
+grid is unreconstructable — must refuse to serve without the explicit
+``float_activations=True`` override.
+
+The v1 fixtures are produced by rewriting a freshly saved artifact's
+manifest down to the old schema (version pinned, act fields stripped) — the
+byte-level layout (packed codes, float blob, zip members) never changed
+between versions, so this reproduces a PR-2 file exactly.
+"""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.deploy import InferenceSession, load_artifact, save_artifact
+from repro.deploy.artifact import FORMAT_VERSION, SUPPORTED_VERSIONS, ArtifactError
+from tests.deploy.conftest import frozen_mixed_model
+
+#: Schema pin: bump deliberately, alongside a loader path for every older
+#: version.  v1 = PR-2 manifests without activation-range fields.
+_EXPECTED_CURRENT_VERSION = 2
+_EXPECTED_SUPPORTED = (1, 2)
+
+
+def _downgrade_to_v1(path: str) -> None:
+    """Rewrite an artifact file's manifest to the PR-2 (version 1) schema."""
+    with np.load(path, allow_pickle=False) as archive:
+        arrays = {name: archive[name].copy() for name in archive.files}
+    manifest = json.loads(bytes(arrays["manifest"]).decode("utf-8"))
+    assert manifest["format_version"] == FORMAT_VERSION
+    manifest["format_version"] = 1
+    for entry in manifest["layers"]:
+        entry.pop("act_mode", None)
+        entry.pop("act_range", None)
+    arrays["manifest"] = np.frombuffer(
+        json.dumps(manifest, sort_keys=True).encode("utf-8"), dtype=np.uint8
+    )
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    with open(path, "wb") as handle:
+        handle.write(buffer.getvalue())
+
+
+def test_schema_version_pins():
+    assert FORMAT_VERSION == _EXPECTED_CURRENT_VERSION
+    assert SUPPORTED_VERSIONS == _EXPECTED_SUPPORTED
+
+
+def test_v1_manifest_loads_with_float_semantics(tmp_path):
+    model = frozen_mixed_model("simple_convnet", num_classes=10, width=8)
+    v1_path = str(tmp_path / "v1.npz")
+    save_artifact(model, v1_path, arch="simple_convnet",
+                  arch_kwargs={"num_classes": 10, "width": 8})
+    _downgrade_to_v1(v1_path)
+    loaded = load_artifact(v1_path)
+    assert loaded.manifest["format_version"] == 1
+    for record in loaded.quantized.values():
+        assert record.act_range is None
+        assert record.act_bits == 32
+
+
+def test_v1_serves_bit_identically_to_v2(tmp_path, rng):
+    """Same float-activation model, both schema versions: identical logits."""
+    arch_kwargs = {"num_classes": 10, "width_mult": 0.25}
+    model = frozen_mixed_model("resnet20", **arch_kwargs)
+    v2_path = str(tmp_path / "v2.npz")
+    v1_path = str(tmp_path / "v1.npz")
+    save_artifact(model, v2_path, arch="resnet20", arch_kwargs=arch_kwargs)
+    save_artifact(model, v1_path, arch="resnet20", arch_kwargs=arch_kwargs)
+    _downgrade_to_v1(v1_path)
+
+    v2_session = InferenceSession(v2_path)
+    v1_session = InferenceSession(v1_path)
+    x = rng.standard_normal((5, 3, 12, 12)).astype(np.float32)
+    np.testing.assert_array_equal(v1_session.run(x), v2_session.run(x))
+
+
+def test_v1_quantized_activations_refused_without_override(tmp_path, rng):
+    """v1 act_bits < 32: the grid is unreconstructable — refuse by default."""
+    arch_kwargs = {"num_classes": 10, "width": 8}
+    model = frozen_mixed_model("simple_convnet", act_bits=4,
+                               calibration_shape=(2, 3, 10, 10), **arch_kwargs)
+    path = str(tmp_path / "v1_act4.npz")
+    save_artifact(model, path, arch="simple_convnet", arch_kwargs=arch_kwargs)
+    _downgrade_to_v1(path)
+    with pytest.raises(ArtifactError, match="float_activations=True"):
+        InferenceSession(path)
+    # The explicit override serves with (documented) float semantics.
+    session = InferenceSession(path, float_activations=True)
+    assert session.activation_mode == "float"
+    assert session.run(rng.standard_normal((2, 3, 10, 10)).astype(np.float32)).shape == (2, 10)
+
+
+def test_unknown_future_version_rejected(tmp_path):
+    model = frozen_mixed_model("simple_convnet", num_classes=10, width=8)
+    path = str(tmp_path / "future.npz")
+    save_artifact(model, path, arch="simple_convnet",
+                  arch_kwargs={"num_classes": 10, "width": 8})
+    with np.load(path, allow_pickle=False) as archive:
+        arrays = {name: archive[name].copy() for name in archive.files}
+    manifest = json.loads(bytes(arrays["manifest"]).decode("utf-8"))
+    manifest["format_version"] = 99
+    arrays["manifest"] = np.frombuffer(
+        json.dumps(manifest, sort_keys=True).encode("utf-8"), dtype=np.uint8
+    )
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    with open(path, "wb") as handle:
+        handle.write(buffer.getvalue())
+    with pytest.raises(ArtifactError, match="version"):
+        load_artifact(path)

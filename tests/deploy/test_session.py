@@ -95,18 +95,25 @@ def test_summary_mentions_fused_steps(artifact_path):
     assert "linear[fc]" in summary
 
 
-def test_activation_quantized_artifact_refused_by_default(artifact_path, rng):
-    """act_bits < 32 artifacts must not silently serve float activations."""
-    from repro.deploy import ArtifactError
-
-    model = frozen_mixed_model("simple_convnet", act_bits=4, num_classes=10, width=8)
+def test_activation_quantized_artifact_serves_integer_grid(artifact_path, rng):
+    """act_bits < 32 artifacts with ranges compile the integer plan automatically."""
+    model = frozen_mixed_model(
+        "simple_convnet", act_bits=4, calibration_shape=(4, 3, 10, 10),
+        num_classes=10, width=8,
+    )
     save_artifact(model, artifact_path, arch="simple_convnet",
                   arch_kwargs={"num_classes": 10, "width": 8})
-    with pytest.raises(ArtifactError, match="act_bits"):
-        InferenceSession(artifact_path)
-    # Explicit opt-in serves float activations (documented divergence).
-    session = InferenceSession(artifact_path, float_activations=True)
-    assert session.run(rng.standard_normal((2, 3, 10, 10)).astype(np.float32)).shape == (2, 10)
+    session = InferenceSession(artifact_path)  # no escape hatch needed
+    assert session.activation_mode == "integer"
+    assert "+aq4" in session.summary()
+    x = rng.standard_normal((2, 3, 10, 10)).astype(np.float32)
+    assert session.run(x).shape == (2, 10)
+    # The documented float_activations override still compiles float steps —
+    # an explicit divergence from the validated model, never the default.
+    override = InferenceSession(artifact_path, float_activations=True)
+    assert override.activation_mode == "float"
+    assert "+aq" not in override.summary()
+    assert override.run(x).shape == (2, 10)
 
 
 def test_linear_batchnorm1d_folds_correctly(rng):
