@@ -15,6 +15,7 @@ import json
 import os
 import platform
 import statistics
+import subprocess
 import sys
 import time
 from dataclasses import dataclass, field
@@ -121,6 +122,7 @@ def run_suites(
     """Run the named suites and return the JSON-serializable results document."""
     # Import for side effects: suite registration.
     from benchmarks.perf import (  # noqa: F401
+        intgemm_bench,
         ops_bench,
         runtime_bench,
         serve_bench,
@@ -152,12 +154,36 @@ def run_suites(
     }
 
 
+def _git_sha() -> str:
+    """The checkout's commit SHA (``+dirty`` when the tree has local edits).
+
+    Run provenance: a committed baseline is only meaningful if the run can
+    be traced back to the exact revision that produced it.  Degrades to
+    ``"unknown"`` outside a git checkout (exported tarballs).
+    """
+    root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=root, capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip()
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=root, capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip()
+        return f"{sha}+dirty" if dirty else sha
+    except Exception:
+        return "unknown"
+
+
 def _environment() -> Dict[str, object]:
     """Interpreter + machine + compute-runtime metadata recorded per run.
 
     The thread configuration is part of the result's identity: baselines
     recorded at different ``REPRO_NUM_THREADS`` (or on hosts with different
-    core counts) must never be silently compared, so both are in the JSON.
+    core counts) must never be silently compared, so both are in the JSON —
+    as are the arena and int-GEMM knobs, and the git SHA of the checkout
+    that produced the numbers.
     """
     try:
         from repro.runtime import num_threads
@@ -169,8 +195,11 @@ def _environment() -> Dict[str, object]:
         "numpy": np.__version__,
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
+        "git_sha": _git_sha(),
         "repro_num_threads": threads,
         "repro_num_threads_env": os.environ.get("REPRO_NUM_THREADS", "unset"),
+        "repro_arena": os.environ.get("REPRO_ARENA", "unset"),
+        "repro_int_gemm": os.environ.get("REPRO_INT_GEMM", "unset"),
     }
 
 

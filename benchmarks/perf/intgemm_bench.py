@@ -1,0 +1,141 @@
+"""Integer-GEMM microbenchmarks: per-kernel cost of code × code matmul.
+
+The ``intgemm`` suite measures every engine of
+:mod:`repro.runtime.intgemm` against float32 BLAS on one serving-sized
+GEMM shape, so the kernel-selection policy's claims stay tied to numbers
+recorded on this host:
+
+* ``float_f32`` — ``parallel_gemm`` on float32 operands (the reference
+  every other case is judged against);
+* ``int_gemm_f32eng`` — :func:`int_gemm` with a certified sub-2**24 bound:
+  the same BLAS call plus the per-call int→float casts and the exact
+  int32 conversion of the result (the deploy plan avoids the casts by
+  storing both operand representations, so this is an upper bound on its
+  overhead);
+* ``int_gemm_f64eng`` / ``int_gemm_exact`` — the widened engines, forced
+  via explicit bounds (the compile-time fallbacks for reductions whose
+  bound exceeds 2**24 / 2**53);
+* ``numpy_int32_matmul`` — NumPy's own integer matmul on pre-cast int32
+  operands: the naive "switch the GEMM dtype" baseline the module exists
+  to avoid;
+* ``bitplane_w2a4`` / ``bitplane_w3a8`` — the popcount path on packed
+  planes at representative weight/activation widths.
+
+All cases run the identical (M, K, N) shape and report gflop/s of the
+equivalent float GEMM, so means are directly comparable down a column.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from benchmarks.perf.harness import BenchCase, register_suite
+
+_SCALES = {
+    "quick": {"gemm": (64, 576, 8192)},
+    "tiny": {"gemm": (16, 128, 2048)},
+}
+
+
+def _operands(cfg, w_lo: int, w_hi: int, a_hi: int):
+    """Seeded integer code operands: weights (M, K), activations (K, N)."""
+    m, k, n = cfg["gemm"]
+    rng = np.random.default_rng(7)
+    w = rng.integers(w_lo, w_hi + 1, size=(m, k), dtype=np.int64)
+    x = rng.integers(0, a_hi + 1, size=(k, n), dtype=np.int64)
+    return w, x
+
+
+@register_suite("intgemm")
+def build_intgemm_suite(scale: str) -> List[BenchCase]:
+    if scale not in _SCALES:
+        raise KeyError(f"Unknown perf scale {scale!r}; choose from {sorted(_SCALES)}")
+    cfg = _SCALES[scale]
+    m, k, n = cfg["gemm"]
+    gflop = float(2 * m * k * n) / 1e9
+    cases: List[BenchCase] = []
+
+    def float_setup():
+        from repro.runtime.threadpool import parallel_gemm
+
+        w, x = _operands(cfg, -8, 7, 15)
+        a = w.astype(np.float32)
+        b = x.astype(np.float32)
+        out = np.empty((m, n), dtype=np.float32)
+        return parallel_gemm, a, b, out
+
+    cases.append(
+        BenchCase(
+            "float_f32", float_setup,
+            lambda s: s[0](s[1], s[2], out=s[3]), gflop, "gflop",
+        )
+    )
+
+    def int_setup(bounds):
+        def setup():
+            from repro.runtime.intgemm import int_gemm
+
+            w, x = _operands(cfg, -8, 7, 15)
+            return int_gemm, w.astype(np.int16), x.astype(np.int16), bounds
+
+        return setup
+
+    # 4-bit-ish codes: bound = K * 8 * 15 < 2**24 at both scales -> f32.
+    cases.append(
+        BenchCase(
+            "int_gemm_f32eng", int_setup(None),
+            lambda s: s[0](s[1], s[2], bounds=s[3]), gflop, "gflop",
+        )
+    )
+    # Declared 16/27-bit ranges push the bound past 2**24 / 2**53 at every
+    # scale's K: the engines follow the declared bounds, not stored values.
+    cases.append(
+        BenchCase(
+            "int_gemm_f64eng", int_setup((-(2 ** 15), 2 ** 15 - 1, 0, 2 ** 16 - 1)),
+            lambda s: s[0](s[1], s[2], bounds=s[3]), gflop, "gflop",
+        )
+    )
+    cases.append(
+        BenchCase(
+            "int_gemm_exact", int_setup((-(2 ** 27), 2 ** 27 - 1, 0, 2 ** 27 - 1)),
+            lambda s: s[0](s[1], s[2], bounds=s[3]), gflop, "gflop",
+        )
+    )
+
+    def numpy_int_setup():
+        w, x = _operands(cfg, -8, 7, 15)
+        return w.astype(np.int32), x.astype(np.int32)
+
+    cases.append(
+        BenchCase(
+            "numpy_int32_matmul", numpy_int_setup,
+            lambda s: s[0] @ s[1], gflop, "gflop",
+        )
+    )
+
+    def bitplane_setup(w_lo, w_hi, a_bits):
+        def setup():
+            from repro.runtime.intgemm import bitplane_gemm, pack_weight_bitplanes
+
+            w, x = _operands(cfg, w_lo, w_hi, 2 ** a_bits - 1)
+            weights = pack_weight_bitplanes(w)
+            out = np.empty((m, n), dtype=np.int32)
+            return bitplane_gemm, weights, x.astype(np.int32), a_bits, out
+
+        return setup
+
+    cases.append(
+        BenchCase(
+            "bitplane_w2a4", bitplane_setup(-2, 1, 4),
+            lambda s: s[0](s[1], s[2], s[3], out=s[4]), gflop, "gflop",
+        )
+    )
+    cases.append(
+        BenchCase(
+            "bitplane_w3a8", bitplane_setup(-4, 3, 8),
+            lambda s: s[0](s[1], s[2], s[3], out=s[4]), gflop, "gflop",
+        )
+    )
+    return cases

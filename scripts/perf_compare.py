@@ -39,7 +39,10 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--noise-threshold", type=float, default=0.05,
-        help="Relative change below which a case is reported as '~' (default 0.05)",
+        help="Per-case relative tolerance before a delta counts as an "
+             "improvement or regression: cases within ±this fraction of 1.0x "
+             "are reported '~ unchanged' and never trip --fail-threshold "
+             "(default 0.05)",
     )
     args = parser.parse_args(argv)
 
@@ -54,6 +57,7 @@ def main(argv=None) -> int:
     print("|---|---:|---:|---:|:--|")
     regressions = []
     speedups = []
+    counts = {"faster": 0, "slower": 0, "unchanged": 0}
     for key in shared:
         b, c = base[key], cand[key]
         speedup = b["mean_s"] / c["mean_s"] if c["mean_s"] > 0 else float("inf")
@@ -61,11 +65,16 @@ def main(argv=None) -> int:
             speedups.append(speedup)
         rel_change = abs(speedup - 1.0)
         if rel_change <= args.noise_threshold:
+            # Within measurement noise: neither an improvement nor a
+            # regression, and never counted against --fail-threshold.
             verdict = "~ unchanged"
+            counts["unchanged"] += 1
         elif speedup >= 1.0:
             verdict = "faster"
+            counts["faster"] += 1
         else:
             verdict = "slower"
+            counts["slower"] += 1
             if args.fail_threshold is not None and 1.0 / speedup > args.fail_threshold:
                 regressions.append((key, 1.0 / speedup))
                 verdict = "REGRESSION"
@@ -84,6 +93,10 @@ def main(argv=None) -> int:
     if speedups:
         geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
         print(f"\nGeometric-mean speedup over {len(speedups)} shared case(s): {geomean:.2f}x")
+        print(
+            f"{counts['faster']} faster, {counts['slower']} slower, "
+            f"{counts['unchanged']} within noise (±{args.noise_threshold:.0%})"
+        )
 
     if regressions:
         print(file=sys.stderr)

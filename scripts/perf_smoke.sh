@@ -16,7 +16,7 @@
 #   REPRO_NUM_THREADS=1 PYTHONPATH=src python -m benchmarks.perf.run \
 #       --suite all --label baseline
 #   REPRO_NUM_THREADS=1 PYTHONPATH=src python -m benchmarks.perf.run \
-#       --suite ops --suite csq --suite infer --scale tiny \
+#       --suite ops --suite csq --suite infer --suite intgemm --scale tiny \
 #       --label baseline-tiny --warmup 3 --iters 21 \
 #       --output BENCH_perf_tiny.json
 # (The tiny baseline uses more iterations than the smoke run: sub-ms cases
@@ -32,6 +32,10 @@ cd "$(dirname "$0")/.."
 
 BASELINE="BENCH_perf_tiny.json"
 THRESHOLD="${PERF_SMOKE_THRESHOLD:-1.5}"
+# Per-case relative tolerance before a delta counts at all (see
+# perf_compare.py --noise-threshold): deltas within +/- this fraction are
+# reported unchanged and never trip the gate.
+NOISE="${PERF_SMOKE_NOISE:-0.05}"
 CANDIDATE="$(mktemp /tmp/perf_smoke.XXXXXX.json)"
 trap 'rm -f "$CANDIDATE"' EXIT
 
@@ -57,10 +61,41 @@ EOF
 # baseline was recorded at REPRO_NUM_THREADS=1, and comparing timings taken
 # at different thread counts would make the gate meaningless.
 REPRO_NUM_THREADS=1 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m benchmarks.perf.run \
-    --suite ops --suite csq --suite infer --scale tiny --warmup 2 --iters 7 \
+    --suite ops --suite csq --suite infer --suite intgemm \
+    --scale tiny --warmup 2 --iters 7 \
     --label smoke --output "$CANDIDATE"
 
-python scripts/perf_compare.py "$BASELINE" "$CANDIDATE" --fail-threshold "$THRESHOLD"
+python scripts/perf_compare.py "$BASELINE" "$CANDIDATE" \
+    --fail-threshold "$THRESHOLD" --noise-threshold "$NOISE"
+
+# Integer-GEMM kernel sanity: the certified dense kernel must agree with
+# float BLAS to float tolerance, the bit-plane path must equal the dense
+# integer result bit-for-bit, and both must be thread-count-invariant
+# (not timed, not gated).
+echo "Running int-GEMM kernel sanity check..."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python - <<'EOF'
+import numpy as np
+from repro import runtime
+from repro.runtime.intgemm import bitplane_gemm, int_gemm, pack_weight_bitplanes
+
+rng = np.random.default_rng(0)
+w = rng.integers(-2, 2, size=(24, 576), dtype=np.int64)   # 2-bit codes
+x = rng.integers(0, 16, size=(576, 700), dtype=np.int64)  # 4-bit codes
+
+dense = int_gemm(w, x)
+float_ref = w.astype(np.float32) @ x.astype(np.float32)
+assert np.allclose(dense, float_ref), "dense-int kernel diverged from float BLAS"
+
+bitplane = bitplane_gemm(pack_weight_bitplanes(w), x, 4)
+assert np.array_equal(dense.astype(np.int64), bitplane.astype(np.int64)), \
+    "bit-plane kernel diverged from dense-int"
+
+with runtime.thread_scope(2):
+    assert np.array_equal(int_gemm(w, x), dense), "int_gemm 2-thread parity"
+    assert np.array_equal(bitplane_gemm(pack_weight_bitplanes(w), x, 4), bitplane), \
+        "bitplane_gemm 2-thread parity"
+print("int-GEMM kernels: dense==float (allclose), bitplane==dense (exact), 2-thread parity OK")
+EOF
 
 # Two-thread sanity: the sharded kernels must produce bitwise-identical
 # forward/backward results with the pool engaged (not timed, not gated).

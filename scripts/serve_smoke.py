@@ -81,6 +81,16 @@ def main() -> int:
                 f"{act_session.activation_mode!r} activations, expected 'integer'"
             )
             return 1
+        # The integer kernel path must actually be selected (not just the
+        # integer activation grid): every GEMM layer's summary tag must be
+        # an integer kernel, visible in the session summary operators read.
+        act_summary = act_session.summary()
+        if "gemm=int8" not in act_summary or "+aq4+int8" not in act_summary:
+            print(
+                "serve smoke FAILED: act4 session did not select the integer "
+                "GEMM kernels; summary:\n" + act_summary
+            )
+            return 1
         rng = np.random.default_rng(1)
         images = rng.standard_normal((8, 3, 12, 12)).astype(np.float32)
         act_logits = act_session.run(images)

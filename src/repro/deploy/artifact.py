@@ -80,6 +80,11 @@ class QuantizedTensorRecord:
     packed_bits: int = 0  #: packed width per element this layer used on disk
     act_mode: str = "observer"  #: activation clip convention (``observer``/``pact``)
     act_range: Optional[float] = None  #: frozen activation clip range; None = float
+    #: The on-disk packed payload, kept after unpacking so the bit-plane
+    #: GEMM kernel can slice weight planes straight out of the bit stream
+    #: (``repro.runtime.intgemm.bitplanes_from_payload``) without a
+    #: pack → unpack → repack round trip.  ``None`` for in-memory records.
+    packed: Optional[PackedCodes] = None
 
     @property
     def dequant_factor(self) -> float:
@@ -246,6 +251,7 @@ def save_artifact(
             packed_bits=packed.bits,
             act_mode=export.act_mode,
             act_range=None if export.act_range is None else float(export.act_range),
+            packed=packed,
         )
 
     # Everything that is not CSQ bit-level state rides along as dense float:
@@ -352,6 +358,7 @@ def load_artifact(path: str) -> Artifact:
                 packed_bits=int(pack["bits"]),
                 act_mode=str(entry.get("act_mode", "observer")),
                 act_range=None if act_range is None else float(act_range),
+                packed=packed,
             )
         blob = archive[_FLOATS_KEY] if _FLOATS_KEY in archive else np.zeros(0, dtype=np.float32)
         floats = {}

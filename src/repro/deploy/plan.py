@@ -39,6 +39,14 @@ from repro.deploy.artifact import QuantizedTensorRecord
 from repro.nn.module import Module
 from repro.quant.act_quant import RANGE_FLOOR
 from repro.runtime.arena import BufferArena
+from repro.runtime.intgemm import (
+    KernelChoice,
+    bitplane_gemm,
+    bitplanes_from_payload,
+    natural_int_dtype,
+    pack_weight_bitplanes,
+    select_kernel,
+)
 from repro.runtime.threadpool import parallel_gemm
 
 
@@ -127,6 +135,172 @@ class ActQuantSpec:
 
 
 # ---------------------------------------------------------------------------
+# GEMM kernels
+# ---------------------------------------------------------------------------
+
+
+class GemmKernel:
+    """Executes one layer's GEMM into the step's float32 output.
+
+    The kernel is chosen once at plan-compile time by
+    :func:`repro.runtime.intgemm.select_kernel` from the layer's reduction
+    length and code bit widths (``REPRO_INT_GEMM`` overrides the policy);
+    steps only ever call :meth:`conv` / :meth:`linear`.  ``tag`` is the
+    per-layer suffix the plan summary shows (``int8``/``int16``/``bp2``);
+    float kernels keep their describe strings unchanged.
+    """
+
+    tag = "f32"
+    is_float = True
+
+    def conv(self, cols: np.ndarray, out: np.ndarray) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def linear(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+
+class FloatGemmKernel(GemmKernel):
+    """Float32 BLAS on the float operand matrix (the default path)."""
+
+    def __init__(self, w_mat: np.ndarray) -> None:
+        self.w_mat = w_mat
+        self._w_t: Optional[np.ndarray] = None
+
+    @property
+    def w_t(self) -> np.ndarray:
+        """Pre-transposed operand for linear steps (built on first use)."""
+        if self._w_t is None:
+            self._w_t = np.ascontiguousarray(self.w_mat.T)
+        return self._w_t
+
+    def conv(self, cols: np.ndarray, out: np.ndarray) -> None:
+        parallel_gemm(self.w_mat, cols, out=out)
+
+    def linear(self, x: np.ndarray) -> np.ndarray:
+        return x @ self.w_t
+
+
+class DenseIntGemmKernel(FloatGemmKernel):
+    """Dense integer GEMM with compile-time-certified accumulation.
+
+    ``w_codes`` holds the weight codes at their natural integer dtype
+    (int8/int16 — the compiled plan's stored representation).  The
+    ``f32`` engine issues the *identical* BLAS call the float path would:
+    with the layer's bound under 2**24 every product and partial sum is an
+    integer exactly representable in float32, so the float pipeline **is**
+    an exact int32-accumulating integer GEMM — integer semantics at full
+    BLAS speed, and bitwise parity with the float32 eval graph by
+    construction.  The ``f64``/``exact`` engines (int64-range accumulation
+    for bounds past 2**24; reachable via ``REPRO_INT_GEMM=dense``) compute
+    the true integer result where float32 would round — served logits then
+    deviate from the float32-trained eval graph by design.
+    """
+
+    is_float = False
+
+    def __init__(self, w_codes: np.ndarray, w_mat: np.ndarray, choice: KernelChoice) -> None:
+        super().__init__(w_mat)
+        self.w_codes = w_codes
+        self.engine = choice.engine
+        self.acc_dtype = choice.acc_dtype
+        self.tag = choice.tag
+        self._w_wide: Optional[np.ndarray] = None
+
+    def _wide(self) -> np.ndarray:
+        if self._w_wide is None:
+            dtype = np.float64 if self.engine == "f64" else np.int64
+            self._w_wide = self.w_codes.astype(dtype)
+        return self._w_wide
+
+    def conv(self, cols: np.ndarray, out: np.ndarray) -> None:
+        if self.engine == "f32":
+            parallel_gemm(self.w_mat, cols, out=out)
+            return
+        wide = self._wide()
+        np.copyto(out, parallel_gemm(wide, cols.astype(wide.dtype)), casting="unsafe")
+
+    def linear(self, x: np.ndarray) -> np.ndarray:
+        if self.engine == "f32":
+            return x @ self.w_t
+        wide = self._wide()
+        return parallel_gemm(x.astype(wide.dtype), wide.T).astype(np.float32)
+
+
+class BitplaneGemmKernel(GemmKernel):
+    """Popcount GEMM over packed bit planes (very low weight bits).
+
+    The weight planes are sliced straight out of the artifact's packed
+    payload when the record still carries it; activation codes are
+    re-packed per call.  Results are exact integers — bitwise identical to
+    the dense kernel — but the path only pays off where float BLAS is slow
+    or absent (see the selection policy); it is reached via
+    ``REPRO_INT_GEMM=bitplane``.
+    """
+
+    is_float = False
+
+    def __init__(self, planes, a_bits: int, choice: KernelChoice) -> None:
+        self.planes = planes
+        self.a_bits = a_bits
+        self.acc_dtype = choice.acc_dtype
+        self.tag = choice.tag
+
+    def conv(self, cols: np.ndarray, out: np.ndarray) -> None:
+        codes = cols.astype(np.int32)
+        np.copyto(out, bitplane_gemm(self.planes, codes, self.a_bits), casting="unsafe")
+
+    def linear(self, x: np.ndarray) -> np.ndarray:
+        codes = x.T.astype(np.int32)  # (K, batch) column-major view of the batch
+        acc = bitplane_gemm(self.planes, codes, self.a_bits)
+        return np.ascontiguousarray(acc.T).astype(np.float32)
+
+
+def _record_kernel(
+    record: QuantizedTensorRecord, w_mat: np.ndarray, act_quant: Optional[ActQuantSpec]
+) -> GemmKernel:
+    """Build the compile-time-selected GEMM kernel for one artifact record.
+
+    The natural-dtype code matrix and the bit planes are memoized on the
+    record (like the float operand), so every session cloned from one
+    artifact shares a single copy per representation.
+    """
+    rows = w_mat.shape[0]
+    q_flat = record.q.reshape(rows, -1)
+    w_lo = int(q_flat.min()) if q_flat.size else 0
+    w_hi = int(q_flat.max()) if q_flat.size else 0
+    choice = select_kernel(
+        k=w_mat.shape[1],
+        w_lo=w_lo,
+        w_hi=w_hi,
+        a_bits=act_quant.bits if act_quant is not None else None,
+        w_plane_bits=record.packed_bits or None,
+    )
+    if choice.kind == "dense":
+        w_codes = getattr(record, "_w_codes_nat", None)
+        if w_codes is None:
+            w_codes = np.ascontiguousarray(q_flat.astype(natural_int_dtype(w_lo, w_hi)))
+            w_codes.flags.writeable = False
+            record._w_codes_nat = w_codes
+        return DenseIntGemmKernel(w_codes, w_mat, choice)
+    if choice.kind == "bitplane":
+        planes = getattr(record, "_bitplanes", None)
+        if planes is None:
+            if record.packed is not None and record.packed.bits:
+                planes = bitplanes_from_payload(
+                    record.packed.data,
+                    record.packed.bits,
+                    record.packed.offset,
+                    (rows, q_flat.shape[1]),
+                )
+            else:
+                planes = pack_weight_bitplanes(q_flat)
+            record._bitplanes = planes
+        return BitplaneGemmKernel(planes, act_quant.bits, choice)
+    return FloatGemmKernel(w_mat)
+
+
+# ---------------------------------------------------------------------------
 # Steps
 # ---------------------------------------------------------------------------
 
@@ -180,9 +354,11 @@ class ConvStep(Step):
         relu: bool = False,
         arena: Optional[BufferArena] = None,
         act_quant: Optional[ActQuantSpec] = None,
+        kernel: Optional[GemmKernel] = None,
     ) -> None:
         self.name = name
         self.w_mat = np.ascontiguousarray(w_mat, dtype=np.float32)
+        self.kernel = kernel if kernel is not None else FloatGemmKernel(self.w_mat)
         self.out_channels = self.w_mat.shape[0]
         self.mult = mult.astype(np.float32).reshape(-1, 1)
         self.shift = None if shift is None else shift.astype(np.float32).reshape(-1, 1)
@@ -224,7 +400,7 @@ class ConvStep(Step):
             self.arena.release(codes)
         else:
             cols = im2col(x, k, k, stride, self.padding, self.arena)
-        parallel_gemm(self.w_mat, cols, out=out)
+        self.kernel.conv(cols, out)
         self.arena.release(cols)
         out *= self.mult
         if self.shift is not None:
@@ -235,6 +411,8 @@ class ConvStep(Step):
 
     def describe(self) -> str:
         tail = f"+{self.act_quant.describe()}" if self.act_quant is not None else ""
+        if not self.kernel.is_float:
+            tail += f"+{self.kernel.tag}"
         tail += "+bn" if self.shift is not None else ""
         tail += "+relu" if self.relu else ""
         return f"conv[{self.name}]{tail}"
@@ -258,10 +436,12 @@ class LinearStep(Step):
         relu: bool = False,
         arena: Optional[BufferArena] = None,
         act_quant: Optional[ActQuantSpec] = None,
+        kernel: Optional[GemmKernel] = None,
     ) -> None:
         self.name = name
-        # Pre-transpose once so the hot path is a single ``x @ w_t``.
-        self.w_t = np.ascontiguousarray(w_mat.T, dtype=np.float32)
+        if kernel is None:
+            kernel = FloatGemmKernel(np.ascontiguousarray(w_mat, dtype=np.float32))
+        self.kernel = kernel
         #: Per-feature (or scalar) output multiplier; ``None`` skips the pass.
         self.mult: Optional[np.ndarray] = None if dequant == 1.0 else np.float32(dequant)
         self.bias = None if bias is None else bias.astype(np.float32)
@@ -281,10 +461,10 @@ class LinearStep(Step):
     def __call__(self, x: np.ndarray) -> np.ndarray:
         if self.act_quant is not None:
             codes = self.act_quant.quantize(x, self.arena)
-            out = codes @ self.w_t
+            out = self.kernel.linear(codes)
             self.arena.release(codes)
         else:
-            out = x @ self.w_t
+            out = self.kernel.linear(x)
         if self.mult is not None:
             out *= self.mult
         if self.bias is not None:
@@ -295,6 +475,8 @@ class LinearStep(Step):
 
     def describe(self) -> str:
         tail = f"+{self.act_quant.describe()}" if self.act_quant is not None else ""
+        if not self.kernel.is_float:
+            tail += f"+{self.kernel.tag}"
         tail += "+bn" if self._folded_bn else ""
         tail += "+relu" if self.relu else ""
         return f"linear[{self.name}]{tail}"
@@ -462,15 +644,17 @@ class PlanBuilder:
                 # The GEMM output is codes x codes: both the weight and the
                 # activation dequantization fold into one output multiplier.
                 dequant = dequant * act_quant.scale
+            kernel = _record_kernel(record, w_mat, act_quant)
         else:
             weight = module.weight.data
             w_mat = weight.reshape(weight.shape[0], -1).astype(np.float32)
             dequant = 1.0
             bias = None if module.bias is None else module.bias.data
-        return w_mat, dequant, bias, act_quant
+            kernel = None
+        return w_mat, dequant, bias, act_quant, kernel
 
     def conv(self, module: Module, name: str) -> None:
-        w_mat, dequant, bias, act_quant = self._conv_record(module, name)
+        w_mat, dequant, bias, act_quant, kernel = self._conv_record(module, name)
         out_channels = w_mat.shape[0]
         mult = np.full(out_channels, dequant, dtype=np.float32)
         shift = None if bias is None else bias.astype(np.float32)
@@ -485,6 +669,7 @@ class PlanBuilder:
                 padding=module.padding,
                 arena=self.arena,
                 act_quant=act_quant,
+                kernel=kernel,
             )
         )
 
@@ -492,9 +677,11 @@ class PlanBuilder:
         # A quantized record's bias is authoritative — like the conv path,
         # never fall back to the skeleton module's (randomly initialized)
         # bias when the record says the layer has none.
-        w_mat, dequant, bias, act_quant = self._conv_record(module, name)
+        w_mat, dequant, bias, act_quant, kernel = self._conv_record(module, name)
         self.steps.append(
-            LinearStep(name, w_mat, dequant, bias, arena=self.arena, act_quant=act_quant)
+            LinearStep(
+                name, w_mat, dequant, bias, arena=self.arena, act_quant=act_quant, kernel=kernel
+            )
         )
 
     def batch_norm(self, module: Module, name: str) -> None:

@@ -133,11 +133,37 @@ class InferenceSession:
 
         return "integer" if quantizes(self.plan) else "float"
 
+    @property
+    def gemm_kernels(self) -> Dict[str, str]:
+        """``layer name -> kernel tag`` for every GEMM step of the plan.
+
+        Tags come from the compile-time kernel selection
+        (:func:`repro.runtime.intgemm.select_kernel`): ``f32`` for the float
+        path, ``int8``/``int16`` for the dense integer kernel, ``bp{bits}``
+        for the bit-plane popcount kernel.  The same tags appear per layer
+        in :meth:`summary` (e.g. ``conv[conv1]+aq4+int8+bn+relu``).
+        """
+
+        def walk(steps, out: Dict[str, str]) -> None:
+            for step in steps:
+                kernel = getattr(step, "kernel", None)
+                if kernel is not None:
+                    out[step.name] = kernel.tag
+                if hasattr(step, "main"):
+                    walk(step.main, out)
+                    walk(step.shortcut, out)
+
+        kernels: Dict[str, str] = {}
+        walk(self.plan, kernels)
+        return kernels
+
     def summary(self) -> str:
+        tags = sorted(set(self.gemm_kernels.values()))
         header = (
             f"InferenceSession(arch={self.arch!r}, "
             f"avg_precision={self.artifact.scheme().average_precision:.2f}, "
-            f"steps={len(self.plan)}, activations={self.activation_mode})"
+            f"steps={len(self.plan)}, activations={self.activation_mode}, "
+            f"gemm={'/'.join(tags) if tags else 'none'})"
         )
         return header + "\n" + plan_summary(self.plan)
 
