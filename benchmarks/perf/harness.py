@@ -12,16 +12,10 @@ anywhere the library runs.
 from __future__ import annotations
 
 import json
-import os
-import platform
 import statistics
-import subprocess
-import sys
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
-
-import numpy as np
 
 
 @dataclass
@@ -126,6 +120,7 @@ def run_suites(
         ops_bench,
         runtime_bench,
         serve_bench,
+        telemetry_bench,
         train_bench,
     )
 
@@ -154,53 +149,18 @@ def run_suites(
     }
 
 
-def _git_sha() -> str:
-    """The checkout's commit SHA (``+dirty`` when the tree has local edits).
-
-    Run provenance: a committed baseline is only meaningful if the run can
-    be traced back to the exact revision that produced it.  Degrades to
-    ``"unknown"`` outside a git checkout (exported tarballs).
-    """
-    root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
-    try:
-        sha = subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
-            cwd=root, capture_output=True, text=True, timeout=10, check=True,
-        ).stdout.strip()
-        dirty = subprocess.run(
-            ["git", "status", "--porcelain"],
-            cwd=root, capture_output=True, text=True, timeout=10, check=True,
-        ).stdout.strip()
-        return f"{sha}+dirty" if dirty else sha
-    except Exception:
-        return "unknown"
-
-
 def _environment() -> Dict[str, object]:
     """Interpreter + machine + compute-runtime metadata recorded per run.
 
-    The thread configuration is part of the result's identity: baselines
-    recorded at different ``REPRO_NUM_THREADS`` (or on hosts with different
-    core counts) must never be silently compared, so both are in the JSON —
-    as are the arena and int-GEMM knobs, and the git SHA of the checkout
-    that produced the numbers.
+    Delegates to :func:`repro.obs.provenance.environment_block` — one
+    canonical provenance block shared with the telemetry run manifests and
+    ``scripts/loadgen.py``, so baselines and soak runs are comparable by
+    the same identity fields (git SHA, numpy, thread/arena/int-GEMM knobs,
+    cpu_count).
     """
-    try:
-        from repro.runtime import num_threads
-        threads: object = num_threads()
-    except Exception:  # library not importable (foreign checkout): raw env
-        threads = os.environ.get("REPRO_NUM_THREADS", "unset")
-    return {
-        "python": sys.version.split()[0],
-        "numpy": np.__version__,
-        "platform": platform.platform(),
-        "cpu_count": os.cpu_count(),
-        "git_sha": _git_sha(),
-        "repro_num_threads": threads,
-        "repro_num_threads_env": os.environ.get("REPRO_NUM_THREADS", "unset"),
-        "repro_arena": os.environ.get("REPRO_ARENA", "unset"),
-        "repro_int_gemm": os.environ.get("REPRO_INT_GEMM", "unset"),
-    }
+    from repro.obs.provenance import environment_block
+
+    return environment_block()
 
 
 def write_results(document: Dict[str, object], path: str) -> None:

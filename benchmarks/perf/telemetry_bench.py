@@ -1,0 +1,88 @@
+"""Telemetry-overhead benchmark: identical serving work, knob decides cost.
+
+The ``telemetry`` suite runs the same inference/serving cases regardless of
+``REPRO_TELEMETRY`` — it never toggles the knob itself — so an off/on pair
+of recorded runs can be compared with ``scripts/perf_compare.py --stat
+min``.  The *enforced* version of that comparison lives in
+``scripts/telemetry_gate.py`` (run by ``perf_smoke.sh``): it interleaves
+off/on samples within one process, because this host drifts >5% between
+back-to-back processes, which makes a two-process 5%-threshold comparison
+a coin flip.  Between the gate and the bitwise disabled-path tests
+(``tests/obs/test_disabled_overhead.py``), the subsystem's two cost claims
+are pinned:
+
+* disabled telemetry is zero-cost — bitwise-identical outputs, and the
+  off-run must match the committed serving performance (the regular
+  ``infer`` gate covers this), and
+* enabled telemetry (guards, span bookkeeping, histogram stats — no sink
+  attached) stays within 5% of disabled.
+
+Cases are chosen for low timing noise on a shared host: batched session
+compute as the control, a zero-wait single-stream server for the
+per-request guard path, and a bounded concurrent burst for the batching
+path with per-request emits.  The opt-in per-step profiler is deliberately
+NOT part of this suite — its overhead is a documented trade the caller
+makes explicitly (see OBSERVABILITY.md), not a tax on default serving.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from benchmarks.perf.harness import BenchCase, register_suite
+from benchmarks.perf.serve_bench import _INFER_SCALES, _frozen_artifact_setup
+
+
+@register_suite("telemetry")
+def build_telemetry_suite(scale: str) -> List[BenchCase]:
+    if scale not in _INFER_SCALES:
+        raise KeyError(f"Unknown perf scale {scale!r}; choose from {sorted(_INFER_SCALES)}")
+    cfg = _INFER_SCALES[scale]
+
+    def session_setup():
+        session, _, images = _frozen_artifact_setup(cfg)
+        return session, images
+
+    def session_fn(state):
+        session, images = state
+        return session.run(images)
+
+    def single_stream_setup():
+        from repro.deploy import Server
+
+        session, _, images = _frozen_artifact_setup(cfg)
+        server = Server(session, max_batch=cfg["batch"], max_wait_ms=0.0)
+        server.start()
+        return server, images[0]
+
+    def single_stream_fn(state):
+        server, example = state
+        return server.predict(example)
+
+    def single_stream_teardown(state):
+        state[0].stop()
+
+    def burst_setup():
+        from repro.deploy import Server
+
+        session, _, images = _frozen_artifact_setup(cfg)
+        server = Server(session, max_batch=cfg["batch"], max_wait_ms=2.0)
+        server.start()
+        examples = [images[i % len(images)] for i in range(cfg["requests"])]
+        return server, examples
+
+    def burst_fn(state):
+        server, examples = state
+        return server.predict_many(examples)
+
+    def burst_teardown(state):
+        state[0].stop()
+
+    return [
+        BenchCase("session_run_batched", session_setup, session_fn,
+                  float(cfg["batch"]), "image"),
+        BenchCase("server_single_stream", single_stream_setup, single_stream_fn,
+                  1.0, "request", teardown=single_stream_teardown),
+        BenchCase("server_request_burst", burst_setup, burst_fn,
+                  float(cfg["requests"]), "request", teardown=burst_teardown),
+    ]

@@ -17,6 +17,7 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import re
 import sys
 from typing import Dict, Tuple
 
@@ -44,7 +45,27 @@ def main(argv=None) -> int:
              "are reported '~ unchanged' and never trip --fail-threshold "
              "(default 0.05)",
     )
+    parser.add_argument(
+        "--ungate", default=None, metavar="REGEX",
+        help="Cases whose suite/name matches this regex are still compared "
+             "and shown in the table, but a past-threshold slowdown reports "
+             "'slower (ungated)' instead of failing the run.  For cases "
+             "whose measurement noise is known to exceed any useful "
+             "threshold (e.g. cross-thread wake latency on a 1-core host); "
+             "every use should carry a written justification next to it",
+    )
+    parser.add_argument(
+        "--stat", choices=("mean", "min"), default="mean",
+        help="Which per-case statistic to compare (default mean).  'min' is "
+             "robust to scheduler jitter on shared hosts: the fastest of N "
+             "samples of identical work differs between runs only by real "
+             "cost differences, so tight thresholds (e.g. the telemetry "
+             "on/off 1.05x gate) stay meaningful where a 7-sample mean "
+             "polluted by one descheduled sample would trip them",
+    )
     args = parser.parse_args(argv)
+    stat_key = f"{args.stat}_s"
+    ungated = re.compile(args.ungate) if args.ungate else None
 
     base_label, base = load_results(args.base)
     cand_label, cand = load_results(args.candidate)
@@ -53,14 +74,14 @@ def main(argv=None) -> int:
         print("No shared cases between the two result files", file=sys.stderr)
         return 2
 
-    print(f"| suite/case | {base_label} mean | {cand_label} mean | speedup | verdict |")
+    print(f"| suite/case | {base_label} {args.stat} | {cand_label} {args.stat} | speedup | verdict |")
     print("|---|---:|---:|---:|:--|")
     regressions = []
     speedups = []
     counts = {"faster": 0, "slower": 0, "unchanged": 0}
     for key in shared:
         b, c = base[key], cand[key]
-        speedup = b["mean_s"] / c["mean_s"] if c["mean_s"] > 0 else float("inf")
+        speedup = b[stat_key] / c[stat_key] if c[stat_key] > 0 else float("inf")
         if math.isfinite(speedup) and speedup > 0:
             speedups.append(speedup)
         rel_change = abs(speedup - 1.0)
@@ -76,19 +97,22 @@ def main(argv=None) -> int:
             verdict = "slower"
             counts["slower"] += 1
             if args.fail_threshold is not None and 1.0 / speedup > args.fail_threshold:
-                regressions.append((key, 1.0 / speedup))
-                verdict = "REGRESSION"
+                if ungated is not None and ungated.search(f"{key[0]}/{key[1]}"):
+                    verdict = "slower (ungated)"
+                else:
+                    regressions.append((key, 1.0 / speedup))
+                    verdict = "REGRESSION"
         print(
-            f"| {key[0]}/{key[1]} | {b['mean_s'] * 1e3:.3f} ms "
-            f"| {c['mean_s'] * 1e3:.3f} ms | {speedup:.2f}x | {verdict} |"
+            f"| {key[0]}/{key[1]} | {b[stat_key] * 1e3:.3f} ms "
+            f"| {c[stat_key] * 1e3:.3f} ms | {speedup:.2f}x | {verdict} |"
         )
 
     only_base = sorted(set(base) - set(cand))
     only_cand = sorted(set(cand) - set(base))
     for key in only_base:
-        print(f"| {key[0]}/{key[1]} | {base[key]['mean_s'] * 1e3:.3f} ms | — | — | base only |")
+        print(f"| {key[0]}/{key[1]} | {base[key][stat_key] * 1e3:.3f} ms | — | — | base only |")
     for key in only_cand:
-        print(f"| {key[0]}/{key[1]} | — | {cand[key]['mean_s'] * 1e3:.3f} ms | — | candidate only |")
+        print(f"| {key[0]}/{key[1]} | — | {cand[key][stat_key] * 1e3:.3f} ms | — | candidate only |")
 
     if speedups:
         geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))

@@ -22,6 +22,7 @@ import numpy as np
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro import obs  # noqa: E402
 from repro.autograd.tensor import Tensor, no_grad  # noqa: E402
 from repro.csq.convert import materialize_quantized  # noqa: E402
 from repro.deploy import InferenceSession, Server, load_artifact, save_artifact  # noqa: E402
@@ -103,17 +104,68 @@ def main() -> int:
         if act_err > 1e-4:
             print(f"serve smoke FAILED: act4 session vs frozen CSQ eval differ by {act_err:.2e}")
             return 1
-        with Server(act_session, max_batch=8, max_wait_ms=1.0) as server:
-            act_served = np.stack(server.predict_many(list(images)))
+        # Serve the act4 leg with the per-step profiler + telemetry on: the
+        # trace must carry one plan.step span per plan step per executed
+        # batch, nested under that batch's server.batch span, with kernel
+        # tags agreeing with the summary operators read.
+        act_session.set_profiling(True)
+        with obs.telemetry_scope(enabled=True) as telemetry:
+            with Server(act_session, max_batch=8, max_wait_ms=1.0) as server:
+                act_served = np.stack(server.predict_many(list(images)))
+            batch_spans = telemetry.tracer.finished("server.batch")
+            step_spans = telemetry.tracer.finished("plan.step")
+        act_session.set_profiling(False)
         served_err = float(np.abs(act_served - act_logits).max())
         if served_err > 1e-6:
             print(f"serve smoke FAILED: act4 served logits differ from session by {served_err:.2e}")
+            return 1
+        if not batch_spans:
+            print("serve smoke FAILED: act4 serving produced no server.batch spans")
+            return 1
+        expected_steps = len(act_session.plan) * len(batch_spans)
+        if len(step_spans) != expected_steps:
+            print(
+                f"serve smoke FAILED: act4 trace has {len(step_spans)} plan.step "
+                f"spans, expected {len(act_session.plan)} per batch x "
+                f"{len(batch_spans)} batches = {expected_steps}"
+            )
+            return 1
+        batch_ids = {span.span_id for span in batch_spans}
+        orphans = [s for s in step_spans if s.parent_id not in batch_ids]
+        if orphans:
+            print(f"serve smoke FAILED: {len(orphans)} plan.step spans not nested "
+                  f"under a server.batch span")
+            return 1
+        plan_order = [step.name for step in act_session.plan]
+        for batch_span in batch_spans:
+            traced_order = [
+                s.attrs["step"] for s in step_spans if s.parent_id == batch_span.span_id
+            ]
+            if traced_order != plan_order:
+                print(
+                    f"serve smoke FAILED: batch {batch_span.span_id} traced step "
+                    f"order {traced_order} != plan order {plan_order}"
+                )
+                return 1
+        summary_tags = set(
+            act_summary.split("gemm=", 1)[1].split(")", 1)[0].split("/")
+        )
+        span_tags = set()
+        for span in step_spans:
+            span_tags.update(span.attrs["kernels"].values())
+        if span_tags != summary_tags:
+            print(
+                f"serve smoke FAILED: trace kernel tags {sorted(span_tags)} do not "
+                f"match summary gemm tags {sorted(summary_tags)}"
+            )
             return 1
 
     print(
         f"serve smoke OK: parity {err:.1e}, act4 parity {act_err:.1e}, "
         f"{int(stats['served'])} requests in {int(stats['batches'])} batches "
-        f"(mean batch {stats['mean_batch_size']:.1f})"
+        f"(mean batch {stats['mean_batch_size']:.1f}); act4 trace: "
+        f"{len(step_spans)} plan.step spans across {len(batch_spans)} batches, "
+        f"kernels {'/'.join(sorted(span_tags))}"
     )
     return 0
 

@@ -11,3 +11,10 @@ python -m pytest tests -q "$@"
 
 # Serve smoke: artifact -> session -> server round trip (seconds, no training).
 python scripts/serve_smoke.py
+
+# Load-generator smoke: one tiny open-loop sweep + soak against a packed
+# resnet20, with the built-in self-check (report parses, percentiles
+# monotone, provenance manifest complete).  See OBSERVABILITY.md.
+LOADGEN_OUT="$(mktemp -d /tmp/loadgen_smoke.XXXXXX)"
+trap 'rm -rf "$LOADGEN_OUT"' EXIT
+python scripts/loadgen.py --smoke --out "$LOADGEN_OUT"

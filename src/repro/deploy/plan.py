@@ -806,6 +806,30 @@ def plan_summary(steps: List[Step]) -> str:
     return "\n".join(step.describe() for step in steps)
 
 
+def step_kernel_tags(step: Step) -> Dict[str, str]:
+    """``layer name -> kernel tag`` for every GEMM kernel nested in ``step``.
+
+    Tags are the compile-time kernel selections the plan summary shows
+    (``f32``/``int8``/``int16``/``bp{bits}``); residual steps contribute
+    their main and shortcut sub-plans.  The per-step profiler and the
+    ``plan.step`` trace spans attach exactly this mapping, so a trace can
+    be checked against :meth:`InferenceSession.summary` tag-for-tag.
+    """
+    tags: Dict[str, str] = {}
+
+    def walk(steps: List[Step]) -> None:
+        for inner in steps:
+            kernel = getattr(inner, "kernel", None)
+            if kernel is not None:
+                tags[inner.name] = kernel.tag
+            if hasattr(inner, "main"):
+                walk(inner.main)
+                walk(inner.shortcut)
+
+    walk([step])
+    return tags
+
+
 # ---------------------------------------------------------------------------
 # Built-in handlers: leaves
 # ---------------------------------------------------------------------------

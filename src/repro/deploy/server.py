@@ -15,25 +15,36 @@ parallel, and even on one core a worker's batching wait window overlaps
 another worker's compute instead of stalling the whole server.
 
 An optional LRU response cache short-circuits byte-identical requests, and
-the server keeps running latency/throughput statistics (mean/p50/p95 request
-latency, mean batch size, cache hit rate) for the serving benchmarks.
+the server keeps running statistics in **fixed memory**: request latency,
+queue wait, and service time each stream into a log-bucketed
+:class:`~repro.obs.metrics.Histogram` (p50/p95/p99 within bucket
+resolution), alongside cache hit rate, current queue depth, and the
+batch-size distribution — soak runs of millions of requests cost the same
+few kilobytes as a smoke test.  With telemetry enabled
+(``REPRO_TELEMETRY=1``, see OBSERVABILITY.md) the server additionally
+emits one NDJSON record per request — queue wait split from service time —
+and a ``server.batch`` span per forward pass, under which a profiling
+session nests its per-step ``plan.step`` spans.  The telemetry handle is
+resolved once in :meth:`start`; when disabled the only cost is a ``None``
+check per batch.
 """
 
 from __future__ import annotations
 
 import hashlib
-import statistics
 import threading
 import time
-from collections import OrderedDict, deque
+from collections import OrderedDict
 from concurrent.futures import Future
 from dataclasses import dataclass
 from queue import Empty, Queue
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.deploy.session import InferenceSession
+from repro.obs.metrics import Histogram
 
 
 @dataclass
@@ -42,25 +53,46 @@ class _Request:
     future: Future
     enqueued_at: float
     cache_key: Optional[bytes]
+    req_id: int = 0
+    #: Stamped by the worker that pops the request off the queue; the
+    #: queue-wait/service-time split in the stats pivots on this instant.
+    dequeued_at: float = 0.0
 
 
 class ServerStats:
-    """Thread-safe rolling statistics of a running server."""
+    """Thread-safe rolling statistics of a running server.
 
-    def __init__(self, latency_window: int = 8192) -> None:
+    Latency, queue wait, and service time are streaming histograms —
+    memory is fixed regardless of how many requests pass through, and
+    snapshots read quantiles from bucket counts instead of sorting a
+    sample history.  Queue wait is ``dequeued_at - enqueued_at`` (time
+    spent waiting for a worker); service time is everything after the
+    pop, including the batch-assembly wait the worker spends coalescing.
+    """
+
+    def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._latencies = deque(maxlen=latency_window)
+        self._latency = Histogram()
+        self._queue_wait = Histogram()
+        self._service = Histogram()
+        self._batch_sizes: Dict[int, int] = {}
         self.requests = 0
         self.served = 0
         self.cache_hits = 0
         self.batches = 0
         self.batched_examples = 0
         self.started_at = time.perf_counter()
+        #: Set by the owning :class:`Server` so snapshots report the live
+        #: queue depth; standalone stats objects report 0.
+        self.queue_depth_fn: Optional[Callable[[], int]] = None
 
     def reset(self) -> None:
         """Zero all counters and restart the throughput clock."""
         with self._lock:
-            self._latencies.clear()
+            self._latency = Histogram()
+            self._queue_wait = Histogram()
+            self._service = Histogram()
+            self._batch_sizes = {}
             self.requests = 0
             self.served = 0
             self.cache_hits = 0
@@ -68,38 +100,69 @@ class ServerStats:
             self.batched_examples = 0
             self.started_at = time.perf_counter()
 
-    def record_submit(self, cache_hit: bool) -> None:
+    def record_submit(self, cache_hit: bool) -> int:
+        """Count one submitted request; returns its request id (1-based)."""
         with self._lock:
             self.requests += 1
             if cache_hit:
                 self.cache_hits += 1
+            return self.requests
 
-    def record_batch(self, size: int, latencies: Sequence[float]) -> None:
+    def record_batch(
+        self,
+        size: int,
+        latencies: Sequence[float],
+        queue_waits: Sequence[float] = (),
+        services: Sequence[float] = (),
+    ) -> None:
         with self._lock:
             self.batches += 1
             self.batched_examples += size
             self.served += size
-            self._latencies.extend(latencies)
+            self._batch_sizes[size] = self._batch_sizes.get(size, 0) + 1
+        # Histograms carry their own locks; keep the counter lock narrow.
+        self._latency.record_many(latencies)
+        if queue_waits:
+            self._queue_wait.record_many(queue_waits)
+        if services:
+            self._service.record_many(services)
 
-    def snapshot(self) -> Dict[str, float]:
+    def snapshot(self) -> Dict[str, object]:
         with self._lock:
-            latencies = sorted(self._latencies)
             elapsed = time.perf_counter() - self.started_at
-            snapshot: Dict[str, float] = {
+            snapshot: Dict[str, object] = {
                 "requests": float(self.requests),
                 "served": float(self.served),
                 "cache_hits": float(self.cache_hits),
+                "cache_hit_rate": (
+                    self.cache_hits / self.requests if self.requests else 0.0
+                ),
                 "batches": float(self.batches),
                 "mean_batch_size": (
                     self.batched_examples / self.batches if self.batches else 0.0
                 ),
+                "batch_size_dist": dict(sorted(self._batch_sizes.items())),
                 "throughput_rps": self.requests / elapsed if elapsed > 0 else 0.0,
             }
-            if latencies:
-                snapshot["latency_mean_ms"] = 1e3 * statistics.fmean(latencies)
-                snapshot["latency_p50_ms"] = 1e3 * latencies[len(latencies) // 2]
-                snapshot["latency_p95_ms"] = 1e3 * latencies[int(0.95 * (len(latencies) - 1))]
-            return snapshot
+        depth_fn = self.queue_depth_fn
+        snapshot["queue_depth"] = float(depth_fn()) if depth_fn is not None else 0.0
+        if self._latency.count:
+            p50, p95, p99 = self._latency.quantiles([0.50, 0.95, 0.99])
+            snapshot["latency_mean_ms"] = 1e3 * self._latency.mean
+            snapshot["latency_p50_ms"] = 1e3 * p50
+            snapshot["latency_p95_ms"] = 1e3 * p95
+            snapshot["latency_p99_ms"] = 1e3 * p99
+        if self._queue_wait.count:
+            p50, p95, p99 = self._queue_wait.quantiles([0.50, 0.95, 0.99])
+            snapshot["queue_wait_p50_ms"] = 1e3 * p50
+            snapshot["queue_wait_p95_ms"] = 1e3 * p95
+            snapshot["queue_wait_p99_ms"] = 1e3 * p99
+        if self._service.count:
+            p50, p95, p99 = self._service.quantiles([0.50, 0.95, 0.99])
+            snapshot["service_p50_ms"] = 1e3 * p50
+            snapshot["service_p95_ms"] = 1e3 * p95
+            snapshot["service_p99_ms"] = 1e3 * p99
+        return snapshot
 
 
 class Server:
@@ -154,6 +217,7 @@ class Server:
         self.workers = workers
         self.stats = ServerStats()
         self._queue: "Queue[object]" = Queue()
+        self.stats.queue_depth_fn = self._queue.qsize
         self._cache: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
         self._cache_size = cache_size
         self._cache_lock = threading.Lock()
@@ -163,6 +227,7 @@ class Server:
         self._threads: List[threading.Thread] = []
         self._sessions: List[InferenceSession] = [session]
         self._running = False
+        self._telemetry: Optional[obs.Telemetry] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -172,6 +237,10 @@ class Server:
             if self._running:
                 return self
             self._running = True
+        # Telemetry state is sampled once per serving session: zero-cost
+        # (one None check per batch) when disabled, and a scope entered
+        # before start() governs the whole run.
+        self._telemetry = obs.telemetry()
         # Sessions are built once and survive stop()/start() cycles.
         while len(self._sessions) < self.workers:
             self._sessions.append(self.session.clone())
@@ -214,6 +283,9 @@ class Server:
                 item.future.set_exception(
                     RuntimeError("Server stopped before the request was served")
                 )
+        telemetry = self._telemetry
+        if telemetry is not None and telemetry.sink is not None:
+            telemetry.sink.flush()
 
     def __enter__(self) -> "Server":
         return self.start()
@@ -236,14 +308,29 @@ class Server:
         if key is not None:
             cached = self._cache_get(key)
             if cached is not None:
-                self.stats.record_submit(cache_hit=True)
+                req_id = self.stats.record_submit(cache_hit=True)
                 future.set_result(cached.copy())
+                telemetry = self._telemetry
+                # Record dicts are only worth building when a sink will
+                # actually write them; spans are unaffected (kept in the
+                # tracer ring for in-process inspection either way).
+                if telemetry is not None and telemetry.sink is not None:
+                    telemetry.emit({
+                        "type": "request",
+                        "id": req_id,
+                        "cache_hit": True,
+                        "queue_wait_ms": 0.0,
+                        "service_ms": 0.0,
+                        "latency_ms": 0.0,
+                        "batch": 0,
+                        "shape": list(x.shape),
+                    })
                 return future
         request = _Request(x=x, future=future, enqueued_at=time.perf_counter(), cache_key=key)
         with self._lifecycle_lock:
             if not self._running:
                 raise RuntimeError("Server is not running; call start() first")
-            self.stats.record_submit(cache_hit=False)
+            request.req_id = self.stats.record_submit(cache_hit=False)
             self._queue.put(request)
         return future
 
@@ -258,6 +345,11 @@ class Server:
         futures = [self.submit(x) for x in xs]
         return [f.result(timeout=timeout) for f in futures]
 
+    def clear_cache(self) -> None:
+        """Drop every cached response (the load generator's cold phases)."""
+        with self._cache_lock:
+            self._cache.clear()
+
     # ------------------------------------------------------------------
     # Workers
     # ------------------------------------------------------------------
@@ -271,8 +363,9 @@ class Server:
                 continue
             if first is self._SHUTDOWN:
                 return
+            first.dequeued_at = time.perf_counter()
             batch: List[_Request] = [first]
-            deadline = time.perf_counter() + self.max_wait_s
+            deadline = first.dequeued_at + self.max_wait_s
             while len(batch) < self.max_batch:
                 remaining = deadline - time.perf_counter()
                 try:
@@ -283,6 +376,7 @@ class Server:
                     # Keep the sentinel count balanced for the other workers.
                     self._execute(batch, session)
                     return
+                item.dequeued_at = time.perf_counter()
                 batch.append(item)
             self._execute(batch, session)
 
@@ -295,15 +389,25 @@ class Server:
             for request in batch:
                 self._execute([request], session)
             return
+        telemetry = self._telemetry
+        run_started = time.perf_counter()
         try:
             stacked = np.stack([request.x for request in batch])
-            logits = session.run(stacked)
+            if telemetry is not None:
+                # The batch span parents any plan.step spans a profiling
+                # session records from this worker thread.
+                with telemetry.tracer.span("server.batch", size=len(batch)):
+                    logits = session.run(stacked)
+            else:
+                logits = session.run(stacked)
         except Exception as error:  # surface runtime failures to every waiter
             for request in batch:
                 request.future.set_exception(error)
             return
         done = time.perf_counter()
         latencies = [done - request.enqueued_at for request in batch]
+        queue_waits = [request.dequeued_at - request.enqueued_at for request in batch]
+        services = [done - request.dequeued_at for request in batch]
         for request, row in zip(batch, logits):
             # Copy the row out of the batch array: a view would pin the whole
             # batch in the cache, and callers must own their result.
@@ -311,7 +415,28 @@ class Server:
             if request.cache_key is not None:
                 self._cache_put(request.cache_key, result.copy())
             request.future.set_result(result)
-        self.stats.record_batch(len(batch), latencies)
+        self.stats.record_batch(len(batch), latencies, queue_waits, services)
+        # Sink-gated like the cache-hit path: no sink, no record dicts.
+        if telemetry is not None and telemetry.sink is not None:
+            size = len(batch)
+            batch_shape = list(batch[0].x.shape)
+            for index, request in enumerate(batch):
+                telemetry.emit({
+                    "type": "request",
+                    "id": request.req_id,
+                    "cache_hit": False,
+                    "queue_wait_ms": 1e3 * queue_waits[index],
+                    "service_ms": 1e3 * services[index],
+                    "latency_ms": 1e3 * latencies[index],
+                    "batch": size,
+                    "shape": batch_shape,
+                })
+            telemetry.emit({
+                "type": "batch",
+                "size": size,
+                "assembly_ms": 1e3 * (run_started - batch[0].dequeued_at),
+                "run_ms": 1e3 * (done - run_started),
+            })
 
     # ------------------------------------------------------------------
     # Cache

@@ -17,12 +17,14 @@ frozen CSQ model the artifact was validated as — no opt-in needed.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple, Union
+import time
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.deploy.artifact import Artifact, ArtifactError, load_artifact
-from repro.deploy.plan import Step, compile_plan, plan_summary
+from repro.deploy.plan import Step, compile_plan, plan_summary, step_kernel_tags
 from repro.runtime.arena import BufferArena
 
 
@@ -48,6 +50,13 @@ class InferenceSession:
         without the override raises (re-export the model for faithful
         integer-activation serving).
 
+    profile:
+        Opt-in per-step profiler (also :meth:`set_profiling`): ``run``
+        times every plan step — wall time plus the compile-time GEMM
+        kernel tags — into :attr:`last_profile`, and records ``plan.step``
+        trace spans when telemetry is on.  Off by default; the unprofiled
+        ``run`` path is unchanged.
+
     ``run`` is **not re-entrant**: conv steps reuse GEMM output buffers
     across calls, so a session must not execute two batches concurrently.
     The :class:`~repro.deploy.server.Server` serializes each worker's
@@ -58,7 +67,10 @@ class InferenceSession:
     """
 
     def __init__(
-        self, artifact: Union[Artifact, str], float_activations: bool = False
+        self,
+        artifact: Union[Artifact, str],
+        float_activations: bool = False,
+        profile: bool = False,
     ) -> None:
         if not isinstance(artifact, Artifact):
             artifact = load_artifact(artifact)
@@ -96,6 +108,12 @@ class InferenceSession:
         )
         self._calls = 0
         self._examples = 0
+        #: Opt-in per-step profiler (see :meth:`set_profiling`): when on,
+        #: ``run`` times every plan step and keeps the result in
+        #: :attr:`last_profile`; with telemetry enabled it additionally
+        #: records one ``plan.step`` trace span per step.
+        self.profile_enabled = bool(profile)
+        self.last_profile: Optional[List[Dict[str, object]]] = None
 
     def clone(self) -> "InferenceSession":
         """An independent session over the same (already unpacked) artifact.
@@ -104,7 +122,22 @@ class InferenceSession:
         buffers and arena, so they can run batches concurrently with the
         original — the unit of parallelism for multi-worker serving.
         """
-        return InferenceSession(self.artifact, float_activations=self._float_activations)
+        return InferenceSession(
+            self.artifact,
+            float_activations=self._float_activations,
+            profile=self.profile_enabled,
+        )
+
+    def set_profiling(self, enabled: bool = True) -> None:
+        """Toggle the per-step profiler.
+
+        Off (the default) keeps ``run`` on its unchanged hot path; on, each
+        plan step is individually timed — wall time plus the compile-time
+        kernel tags from :func:`~repro.deploy.plan.step_kernel_tags` — into
+        :attr:`last_profile`, and ``plan.step`` spans are emitted when
+        telemetry is enabled (``REPRO_TELEMETRY=1``).
+        """
+        self.profile_enabled = bool(enabled)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -144,17 +177,9 @@ class InferenceSession:
         in :meth:`summary` (e.g. ``conv[conv1]+aq4+int8+bn+relu``).
         """
 
-        def walk(steps, out: Dict[str, str]) -> None:
-            for step in steps:
-                kernel = getattr(step, "kernel", None)
-                if kernel is not None:
-                    out[step.name] = kernel.tag
-                if hasattr(step, "main"):
-                    walk(step.main, out)
-                    walk(step.shortcut, out)
-
         kernels: Dict[str, str] = {}
-        walk(self.plan, kernels)
+        for step in self.plan:
+            kernels.update(step_kernel_tags(step))
         return kernels
 
     def summary(self) -> str:
@@ -178,8 +203,11 @@ class InferenceSession:
         """Run the plan over a batch; returns the logits as float32."""
         out = np.ascontiguousarray(x, dtype=np.float32)
         batch = out.shape[0]
-        for step in self.plan:
-            out = step(out)
+        if self.profile_enabled:
+            out = self._run_steps_profiled(out, batch)
+        else:
+            for step in self.plan:
+                out = step(out)
         self._calls += 1
         self._examples += batch
         # The caller must own the result: a plan ending in a ConvStep hands
@@ -189,6 +217,44 @@ class InferenceSession:
         if out.base is not None or not out.flags["OWNDATA"]:
             out = out.copy()
         return np.ascontiguousarray(out)
+
+    def _run_steps_profiled(self, out: np.ndarray, batch: int) -> np.ndarray:
+        """The profiled step loop: per-step wall time + kernel tags.
+
+        Each step's timing, :meth:`~repro.deploy.plan.Step.describe` line,
+        and GEMM kernel tags land in :attr:`last_profile` (one entry per
+        top-level plan step, mirroring :func:`plan_summary` order); with
+        telemetry enabled a ``plan.step`` span is recorded per step,
+        nesting under whatever span the caller holds open (the server's
+        ``server.batch``).
+        """
+        handle = obs.telemetry()
+        tracer = handle.tracer if handle is not None else None
+        profile: List[Dict[str, object]] = []
+        for step in self.plan:
+            started = time.perf_counter()
+            out = step(out)
+            ended = time.perf_counter()
+            kernels = step_kernel_tags(step)
+            profile.append({
+                "step": step.name,
+                "describe": step.describe(),
+                "kernels": kernels,
+                "ms": 1e3 * (ended - started),
+                "batch": batch,
+            })
+            if tracer is not None:
+                tracer.record(
+                    "plan.step",
+                    started,
+                    ended,
+                    step=step.name,
+                    describe=step.describe(),
+                    kernels=kernels,
+                    batch=batch,
+                )
+        self.last_profile = profile
+        return out
 
     __call__ = run
 

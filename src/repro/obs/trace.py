@@ -1,0 +1,157 @@
+"""Span-based tracing for the request lifecycle.
+
+A :class:`Span` is one named, timed segment with free-form attributes;
+spans nest through a per-thread stack, so a worker that opens a
+``server.batch`` span and then calls into a profiled
+:class:`~repro.deploy.session.InferenceSession` gets every ``plan.step``
+span parented under the batch automatically.  Two recording styles:
+
+* ``with tracer.span("server.batch", size=4):`` — context manager, for
+  segments that bracket code in one thread;
+* ``tracer.record("plan.step", start, end, step="conv1")`` — explicit
+  timestamps, for segments measured inline (the per-step profiler times
+  the step first and records after, keeping the timed region clean).
+
+Finished spans go to a bounded in-process ring (``finished()`` — what the
+smoke tests inspect) and, when a sink is attached, to the NDJSON stream as
+``type="span"`` records.  Wall-clock (``time.time``) anchors each span for
+cross-process alignment; durations come from ``perf_counter``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+
+class Span:
+    """One finished (or still-open) trace segment."""
+
+    __slots__ = ("name", "span_id", "parent_id", "start_unix", "start_s", "end_s", "attrs")
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        start_unix: float,
+        start_s: float,
+        attrs: Dict[str, object],
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_unix = start_unix
+        self.start_s = start_s
+        self.end_s: Optional[float] = None
+        self.attrs = attrs
+
+    @property
+    def duration_ms(self) -> float:
+        if self.end_s is None:
+            return float("nan")
+        return 1e3 * (self.end_s - self.start_s)
+
+    def to_record(self) -> Dict[str, object]:
+        """The NDJSON representation (see OBSERVABILITY.md for the schema)."""
+        record: Dict[str, object] = {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "ts_unix": self.start_unix,
+            "dur_ms": self.duration_ms,
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        return record
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, id={self.span_id}, parent={self.parent_id}, "
+            f"dur={self.duration_ms:.3f}ms)"
+        )
+
+
+class Tracer:
+    """Produces spans; keeps the last ``capacity`` finished ones in memory."""
+
+    def __init__(self, sink=None, capacity: int = 4096) -> None:
+        self.sink = sink
+        self._finished: "deque[Span]" = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+
+    # -- span stack (per thread) ----------------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def current_span(self) -> Optional[Span]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- recording ------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, **attrs):
+        stack = self._stack()
+        parent = stack[-1].span_id if stack else None
+        with self._lock:
+            span_id = next(self._ids)
+        span = Span(name, span_id, parent, time.time(), time.perf_counter(), attrs)
+        stack.append(span)
+        try:
+            yield span
+        finally:
+            span.end_s = time.perf_counter()
+            stack.pop()
+            self._finish(span)
+
+    def record(
+        self,
+        name: str,
+        start_s: float,
+        end_s: float,
+        start_unix: Optional[float] = None,
+        **attrs,
+    ) -> Span:
+        """Record an already-measured segment under the current open span."""
+        parent = self.current_span()
+        with self._lock:
+            span_id = next(self._ids)
+        if start_unix is None:
+            # Anchor: shift wall-clock "now" back by the segment's age.
+            start_unix = time.time() - (time.perf_counter() - start_s)
+        span = Span(name, span_id, parent.span_id if parent else None,
+                    start_unix, start_s, attrs)
+        span.end_s = end_s
+        self._finish(span)
+        return span
+
+    def _finish(self, span: Span) -> None:
+        with self._lock:
+            self._finished.append(span)
+        sink = self.sink
+        if sink is not None:
+            sink.emit(span.to_record())
+
+    # -- inspection -----------------------------------------------------
+    def finished(self, name: Optional[str] = None) -> List[Span]:
+        """Finished spans in completion order, optionally filtered by name."""
+        with self._lock:
+            spans = list(self._finished)
+        if name is not None:
+            spans = [span for span in spans if span.name == name]
+        return spans
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()

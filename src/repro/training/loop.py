@@ -9,11 +9,13 @@ because of the extra regularization and temperature scheduling.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.autograd.tensor import Tensor, no_grad
 from repro.data.dataloader import DataLoader, prefetch_batches
 from repro.nn import functional as F
@@ -72,13 +74,24 @@ def train_epoch(
     regularizer and the BSQ bit-sparsity penalty).  With ``prefetch`` (the
     default) a background worker assembles the next batch while the current
     step runs; batch order and results are unchanged.
+
+    Besides ``loss``/``accuracy`` the metrics carry the epoch's step-time
+    and throughput instrumentation (``epoch_time_s``, ``steps``,
+    ``step_time_mean_s``, ``images_per_s``); with telemetry enabled
+    (``REPRO_TELEMETRY=1``) step times additionally stream into the
+    ``train.step_time_s`` histogram and one ``train_epoch`` NDJSON record
+    is emitted per epoch.
     """
     if loss_fn is None:
         loss_fn = F.cross_entropy
     model.train()
     losses: List[float] = []
     accuracies: List[float] = []
+    step_times: List[float] = []
+    images_seen = 0
+    epoch_started = time.perf_counter()
     for images, labels in iter_batches(loader, prefetch):
+        step_started = time.perf_counter()
         logits = model(Tensor(images))
         loss = loss_fn(logits, labels)
         if extra_loss is not None:
@@ -86,9 +99,25 @@ def train_epoch(
         optimizer.zero_grad()
         loss.backward()
         optimizer.step()
+        step_times.append(time.perf_counter() - step_started)
+        images_seen += len(labels)
         losses.append(float(loss.data))
         accuracies.append(F.accuracy(logits, labels))
-    return {"loss": float(np.mean(losses)), "accuracy": float(np.mean(accuracies))}
+    epoch_time = time.perf_counter() - epoch_started
+    metrics = {
+        "loss": float(np.mean(losses)),
+        "accuracy": float(np.mean(accuracies)),
+        "epoch_time_s": epoch_time,
+        "steps": float(len(step_times)),
+        "step_time_mean_s": float(np.mean(step_times)) if step_times else 0.0,
+        "images_per_s": images_seen / epoch_time if epoch_time > 0 else 0.0,
+    }
+    telemetry = obs.telemetry()
+    if telemetry is not None:
+        telemetry.registry.histogram("train.step_time_s").record_many(step_times)
+        telemetry.registry.counter("train.images").inc(images_seen)
+        telemetry.emit({"type": "train_epoch", **metrics})
+    return metrics
 
 
 def evaluate(
@@ -141,6 +170,8 @@ def fit(
         history.train_accuracy.append(train_metrics["accuracy"])
         history.test_loss.append(test_metrics["loss"])
         history.test_accuracy.append(test_metrics["accuracy"])
+        history.record_extra("epoch_time_s", train_metrics["epoch_time_s"])
+        history.record_extra("train_images_per_s", train_metrics["images_per_s"])
         if scheduler is not None:
             scheduler.step()
         if on_epoch_end is not None:

@@ -80,4 +80,7 @@ def test_training_loop_uses_prefetch_by_default(dataset):
         optimizer = SGD(model.parameters(), lr=0.01)
         loader = DataLoader(dataset, batch_size=8, shuffle=True, seed=1)
         metrics.append(train_epoch(model, loader, optimizer, prefetch=prefetch))
-    assert metrics[0] == metrics[1]
+    # Compare the deterministic keys only: the wall-clock metrics
+    # (epoch_time_s, step_time_mean_s, images_per_s) differ run to run.
+    for key in ("loss", "accuracy", "steps"):
+        assert metrics[0][key] == metrics[1][key], key

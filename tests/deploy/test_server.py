@@ -149,3 +149,72 @@ def test_constructor_validation(session):
         Server(session, max_batch=0)
     with pytest.raises(ValueError):
         Server(session, max_wait_ms=-1.0)
+
+
+def test_stats_p99_and_queue_service_split(session, rng):
+    """Latency carries p99; queue wait and service time are reported apart."""
+    with Server(session, max_batch=2, max_wait_ms=0.0) as server:
+        server.predict_many(_examples(rng, 6))
+        stats = server.stats.snapshot()
+    assert stats["latency_p50_ms"] <= stats["latency_p95_ms"] <= stats["latency_p99_ms"]
+    for prefix in ("queue_wait", "service"):
+        p50 = stats[f"{prefix}_p50_ms"]
+        p95 = stats[f"{prefix}_p95_ms"]
+        p99 = stats[f"{prefix}_p99_ms"]
+        assert 0.0 <= p50 <= p95 <= p99
+    # Latency decomposes as queue wait + service: each component's p99 is
+    # bounded by the end-to-end p99 (histogram resolution gives slack).
+    assert stats["service_p99_ms"] <= stats["latency_p99_ms"] * 1.1
+
+
+def test_stats_cache_hit_rate_and_queue_depth(session, rng):
+    example = _examples(rng, 1)[0]
+    with Server(session, max_batch=4, max_wait_ms=0.0, cache_size=8) as server:
+        server.predict(example)
+        server.predict(example)
+        server.predict(example)
+        stats = server.stats.snapshot()
+    assert stats["cache_hit_rate"] == pytest.approx(2.0 / 3.0)
+    # Nothing pending once predicts returned.
+    assert stats["queue_depth"] == 0.0
+
+
+def test_stats_batch_size_distribution(session, rng):
+    examples = _examples(rng, 5)
+    with Server(session, max_batch=1, max_wait_ms=0.0) as server:
+        server.predict_many(examples)
+        stats = server.stats.snapshot()
+    # max_batch=1 forces singleton batches: the distribution is {1: 5}.
+    assert stats["batch_size_dist"] == {1: 5}
+    assert sum(stats["batch_size_dist"].values()) == stats["batches"]
+
+
+def test_stats_fixed_memory(session, rng):
+    """The stats object does not grow with request count (streaming hists)."""
+    stats = server_stats = None
+    with Server(session, max_batch=4, max_wait_ms=0.0) as server:
+        server.predict(_examples(rng, 1)[0])
+        server_stats = server.stats
+        buckets_before = server_stats._latency._counts.size
+        server.predict_many(_examples(rng, 12))
+        assert server_stats._latency._counts.size == buckets_before
+        stats = server_stats.snapshot()
+    assert stats["served"] == 13
+
+
+def test_clear_cache_forces_recompute(session, rng):
+    example = _examples(rng, 1)[0]
+    with Server(session, max_batch=4, max_wait_ms=0.0, cache_size=8) as server:
+        server.predict(example)
+        server.predict(example)  # hit
+        server.clear_cache()
+        server.predict(example)  # cold again: recomputed
+        stats = server.stats.snapshot()
+    assert stats["cache_hits"] == 1
+    assert stats["served"] == 2
+
+
+def test_request_ids_are_sequential(session, rng):
+    with Server(session, max_batch=4, max_wait_ms=0.0) as server:
+        server.predict_many(_examples(rng, 3))
+        assert server.stats.requests == 3

@@ -147,3 +147,50 @@ def test_unknown_module_raises_plan_error():
 
     with pytest.raises(PlanError, match="register_plan_handler"):
         compile_plan(Strange(), {})
+
+
+def test_profiler_off_by_default_and_toggleable(artifact_path, rng):
+    session, _ = _session_and_reference(
+        "simple_convnet", {"num_classes": 10, "width": 8}, artifact_path
+    )
+    x = rng.standard_normal((2, 3, 10, 10)).astype(np.float32)
+    session.run(x)
+    assert not session.profile_enabled
+    assert session.last_profile is None
+
+    session.set_profiling(True)
+    session.run(x)
+    profile = session.last_profile
+    assert profile is not None
+    assert len(profile) == len(session.plan)
+    for entry, step in zip(profile, session.plan):
+        assert entry["step"] == step.name
+        assert entry["describe"] == step.describe()
+        assert entry["ms"] >= 0.0
+        assert entry["batch"] == 2
+    # Per-entry kernel tags union to exactly the session's GEMM kernel map.
+    merged = {}
+    for entry in profile:
+        merged.update(entry["kernels"])
+    assert merged == session.gemm_kernels
+
+
+def test_profiler_survives_clone(artifact_path):
+    session, _ = _session_and_reference(
+        "simple_convnet", {"num_classes": 10, "width": 8}, artifact_path
+    )
+    session.set_profiling(True)
+    assert session.clone().profile_enabled
+    session.set_profiling(False)
+    assert not session.clone().profile_enabled
+
+
+def test_profiled_run_matches_unprofiled(artifact_path, rng):
+    session, _ = _session_and_reference(
+        "simple_convnet", {"num_classes": 10, "width": 8}, artifact_path
+    )
+    x = rng.standard_normal((3, 3, 10, 10)).astype(np.float32)
+    want = session.run(x)
+    session.set_profiling(True)
+    got = session.run(x)
+    assert want.tobytes() == got.tobytes()

@@ -1,0 +1,219 @@
+"""Metric instruments: counters, gauges, and the streaming histogram.
+
+The histogram tests pin the three properties the serving stats rely on:
+quantiles within bucket resolution of a sorted-list reference, lossless
+merging of per-worker histograms, and fixed memory regardless of sample
+count.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def nearest_rank(sorted_values: np.ndarray, q: float) -> float:
+    """The exact nearest-rank order statistic the histogram approximates."""
+    rank = max(1, int(np.ceil(q * len(sorted_values))))
+    return float(sorted_values[rank - 1])
+
+
+class TestCounterGauge:
+    def test_counter_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_threaded(self):
+        counter = Counter()
+
+        def work():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 4000
+
+    def test_gauge_last_write_wins(self):
+        gauge = Gauge()
+        gauge.set(3.0)
+        gauge.set(7.5)
+        assert gauge.value == 7.5
+
+
+class TestHistogramQuantiles:
+    def test_quantiles_match_sorted_reference(self):
+        """p50/p95/p99 within bucket resolution of the exact order statistic."""
+        rng = np.random.default_rng(7)
+        # Lognormal latencies spanning ~3 decades — the serving regime.
+        values = np.exp(rng.normal(loc=-6.0, scale=1.0, size=5000))
+        hist = Histogram()
+        hist.record_many(values)
+        reference = np.sort(values)
+        # Guaranteed bound: sqrt(growth) - 1 relative error, plus slack for
+        # the nearest-rank step between neighbouring samples.
+        tolerance = np.sqrt(hist.growth) - 1.0 + 0.005
+        for q in (0.50, 0.90, 0.95, 0.99):
+            exact = nearest_rank(reference, q)
+            got = hist.quantile(q)
+            assert got == pytest.approx(exact, rel=tolerance), f"q={q}"
+
+    def test_quantiles_monotone(self):
+        rng = np.random.default_rng(3)
+        hist = Histogram()
+        hist.record_many(rng.exponential(0.01, size=2000))
+        p50, p90, p95, p99 = hist.quantiles([0.50, 0.90, 0.95, 0.99])
+        assert p50 <= p90 <= p95 <= p99
+
+    def test_min_max_exact_and_clamping(self):
+        hist = Histogram()
+        for value in (0.0031, 0.0017, 0.0094):
+            hist.record(value)
+        assert hist.min == 0.0017
+        assert hist.max == 0.0094
+        # Quantiles are clamped to the exactly-tracked extremes.
+        assert hist.quantile(0.0) >= 0.0017
+        assert hist.quantile(1.0) <= 0.0094
+
+    def test_single_value_quantile_is_exact(self):
+        hist = Histogram()
+        hist.record(0.042)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert hist.quantile(q) == pytest.approx(0.042)
+
+    def test_out_of_range_values_survive(self):
+        """Underflow/overflow land in the edge buckets, extremes stay exact."""
+        hist = Histogram(min_value=1e-3, max_value=1.0)
+        hist.record_many([1e-9, 0.0, 0.5, 123.0])
+        assert hist.count == 4
+        assert hist.min == 0.0
+        assert hist.max == 123.0
+        assert hist.quantile(1.0) == 123.0
+
+    def test_record_many_matches_record_loop(self):
+        rng = np.random.default_rng(11)
+        values = rng.exponential(0.005, size=500)
+        one_by_one = Histogram()
+        for value in values:
+            one_by_one.record(value)
+        vectorized = Histogram()
+        vectorized.record_many(values)
+        np.testing.assert_array_equal(one_by_one._counts, vectorized._counts)
+        assert one_by_one.count == vectorized.count
+        assert one_by_one.sum == pytest.approx(vectorized.sum)
+        assert one_by_one.quantiles([0.5, 0.95, 0.99]) == \
+            vectorized.quantiles([0.5, 0.95, 0.99])
+
+    def test_empty_histogram_is_nan(self):
+        hist = Histogram()
+        assert np.isnan(hist.quantile(0.5))
+        assert np.isnan(hist.mean)
+
+    def test_invalid_quantile_fraction_raises(self):
+        hist = Histogram()
+        hist.record(1.0)
+        with pytest.raises(ValueError, match="quantile fraction"):
+            hist.quantile(1.5)
+
+    def test_invalid_geometry_raises(self):
+        with pytest.raises(ValueError, match="Histogram needs"):
+            Histogram(min_value=0.0)
+        with pytest.raises(ValueError, match="Histogram needs"):
+            Histogram(growth=1.0)
+
+
+class TestHistogramMerge:
+    def test_merge_across_worker_threads(self):
+        """Per-worker histograms merged == one histogram over all samples."""
+        rng = np.random.default_rng(5)
+        chunks = [rng.exponential(0.01, size=750) for _ in range(4)]
+        workers = [Histogram() for _ in chunks]
+
+        def record(hist, chunk):
+            for value in chunk:
+                hist.record(value)
+
+        threads = [
+            threading.Thread(target=record, args=(hist, chunk))
+            for hist, chunk in zip(workers, chunks)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        merged = Histogram()
+        for hist in workers:
+            merged.merge(hist)
+
+        reference = Histogram()
+        reference.record_many(np.concatenate(chunks))
+        np.testing.assert_array_equal(merged._counts, reference._counts)
+        assert merged.count == reference.count == 3000
+        assert merged.min == reference.min
+        assert merged.max == reference.max
+        assert merged.quantiles([0.5, 0.95, 0.99]) == \
+            reference.quantiles([0.5, 0.95, 0.99])
+
+    def test_merge_geometry_mismatch_raises(self):
+        with pytest.raises(ValueError, match="bucket geometry"):
+            Histogram().merge(Histogram(growth=1.1))
+
+    def test_merge_empty_is_noop(self):
+        hist = Histogram()
+        hist.record(0.5)
+        hist.merge(Histogram())
+        assert hist.count == 1
+        assert hist.min == 0.5
+
+
+class TestHistogramFixedMemory:
+    def test_bucket_array_never_grows(self):
+        rng = np.random.default_rng(9)
+        hist = Histogram()
+        buckets_before = hist._counts.size
+        hist.record_many(np.exp(rng.normal(0.0, 4.0, size=20000)))
+        for value in (1e-12, 1e9, 0.0):
+            hist.record(value)
+        assert hist._counts.size == buckets_before
+        assert hist.count == 20003
+
+    def test_summary_fields(self):
+        hist = Histogram()
+        hist.record_many([0.001, 0.002, 0.003])
+        summary = hist.summary()
+        assert summary["count"] == 3.0
+        assert summary["mean"] == pytest.approx(0.002)
+        assert summary["min"] == 0.001
+        assert summary["max"] == 0.003
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge("x")
+
+    def test_snapshot_renders_all_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs").inc(3)
+        registry.gauge("depth").set(2.0)
+        registry.histogram("lat").record(0.01)
+        snapshot = registry.snapshot()
+        assert snapshot["reqs"] == 3
+        assert snapshot["depth"] == 2.0
+        assert snapshot["lat"]["count"] == 1.0

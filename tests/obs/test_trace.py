@@ -1,0 +1,117 @@
+"""Span tracing: nesting, ordering, thread isolation, sink forwarding."""
+
+import threading
+
+from repro.obs.sink import NdjsonSink, read_ndjson
+from repro.obs.trace import Tracer
+
+
+class TestNesting:
+    def test_context_spans_nest(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_recorded_span_parents_under_open_span(self):
+        """The profiler pattern: time inline, record under the batch span."""
+        import time
+
+        tracer = Tracer()
+        with tracer.span("server.batch", size=4) as batch:
+            start = time.perf_counter()
+            end = start + 0.001
+            step = tracer.record("plan.step", start, end, step="conv1")
+        assert step.parent_id == batch.span_id
+        assert step.attrs["step"] == "conv1"
+        assert step.duration_ms > 0.0
+
+    def test_record_outside_any_span_is_root(self):
+        tracer = Tracer()
+        span = tracer.record("plan.step", 0.0, 1.0)
+        assert span.parent_id is None
+
+    def test_finished_order_is_completion_order(self):
+        """Inner spans finish (and list) before the span that encloses them."""
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            tracer.record("c", 0.0, 0.5)
+        names = [span.name for span in tracer.finished()]
+        assert names == ["b", "c", "a"]
+
+    def test_finished_filters_by_name(self):
+        tracer = Tracer()
+        with tracer.span("keep"):
+            pass
+        with tracer.span("drop"):
+            pass
+        assert [s.name for s in tracer.finished("keep")] == ["keep"]
+
+    def test_clear_empties_ring(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.clear()
+        assert tracer.finished() == []
+
+    def test_ring_is_bounded(self):
+        tracer = Tracer(capacity=8)
+        for index in range(20):
+            with tracer.span(f"s{index}"):
+                pass
+        finished = tracer.finished()
+        assert len(finished) == 8
+        assert finished[-1].name == "s19"
+
+
+class TestThreadIsolation:
+    def test_spans_in_other_threads_do_not_nest_under_this_one(self):
+        tracer = Tracer()
+        results = {}
+
+        def worker():
+            with tracer.span("worker") as span:
+                results["parent"] = span.parent_id
+
+        with tracer.span("main"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert results["parent"] is None
+
+    def test_concurrent_span_ids_unique(self):
+        tracer = Tracer()
+
+        def worker():
+            for _ in range(100):
+                with tracer.span("w"):
+                    pass
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        ids = [span.span_id for span in tracer.finished()]
+        assert len(ids) == len(set(ids)) == 400
+
+
+class TestSinkForwarding:
+    def test_finished_spans_stream_to_sink(self, tmp_path):
+        sink = NdjsonSink(str(tmp_path), run_id="trace-test")
+        tracer = Tracer(sink=sink)
+        with tracer.span("server.batch", size=2):
+            pass
+        sink.close()
+        records = read_ndjson(sink.events_path)
+        assert len(records) == 1
+        record = records[0]
+        assert record["type"] == "span"
+        assert record["name"] == "server.batch"
+        assert record["attrs"] == {"size": 2}
+        assert record["dur_ms"] >= 0.0
+        assert record["parent_id"] is None

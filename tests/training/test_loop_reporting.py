@@ -19,8 +19,15 @@ class TestTrainingLoop:
         model = SimpleConvNet(num_classes=4, width=4)
         optimizer = SGD(model.parameters(), lr=0.05, momentum=0.9)
         metrics = train_epoch(model, train_loader, optimizer)
-        assert set(metrics) == {"loss", "accuracy"}
+        assert set(metrics) == {
+            "loss", "accuracy",
+            "epoch_time_s", "steps", "step_time_mean_s", "images_per_s",
+        }
         assert metrics["loss"] > 0.0
+        assert metrics["steps"] == len(train_loader)
+        assert metrics["epoch_time_s"] > 0.0
+        assert metrics["step_time_mean_s"] > 0.0
+        assert metrics["images_per_s"] > 0.0
 
     def test_train_epoch_with_extra_loss(self, tiny_loaders):
         train_loader, _ = tiny_loaders
