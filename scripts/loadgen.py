@@ -56,12 +56,32 @@ import numpy as np
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro import obs  # noqa: E402
-from repro.deploy import InferenceSession, Server, load_artifact, save_artifact  # noqa: E402
+from repro.deploy import (  # noqa: E402
+    FaultPlan,
+    InferenceSession,
+    Server,
+    ServerError,
+    load_artifact,
+    save_artifact,
+)
 from repro.deploy.testing import frozen_mixed_model  # noqa: E402
 from repro.obs.metrics import Histogram  # noqa: E402
 from repro.obs.provenance import validate_manifest  # noqa: E402
 from repro.obs.sink import NdjsonSink, read_ndjson  # noqa: E402
 from repro.utils import seed_everything  # noqa: E402
+
+# Chaos phase configuration (``--chaos``).  The fault indices are admission
+# indices, spaced so the poison batch, the crash batch, and the slow stall
+# never coalesce into one micro-batch (a crash salvage followed by a poison
+# failure in the *same* batch would push every member to the quarantine
+# threshold).  Poison and crash land early — before the stall — so their
+# requests cannot expire in queue before the fault fires.
+_CHAOS_POISON_AT = 2
+_CHAOS_CRASH_AT = 12
+_CHAOS_SLOW_AT = 20
+_CHAOS_SLOW_MS = 600.0
+_CHAOS_QUEUE_LIMIT = 4
+_CHAOS_DEADLINE_MS = 400.0
 
 
 # ----------------------------------------------------------------------
@@ -174,7 +194,15 @@ def run_phase(
             if error is not None:
                 record["error"] = repr(error)
 
-        future = server.submit(x)
+        try:
+            future = server.submit(x)
+        except ServerError as error:
+            # Admission-time shed (queue full / quarantined payload): the
+            # rejection is synchronous, so there is no future to wait on.
+            record["ok"] = False
+            record["error"] = repr(error)
+            records.append(record)
+            continue
         future.add_done_callback(on_done)
         futures.append(future)
         records.append(record)
@@ -186,7 +214,9 @@ def run_phase(
 
     wait(futures, timeout=duration + 30.0)
     for record in records:
-        if "latency_ms" not in record:  # still pending after the grace window
+        if "latency_ms" not in record and "error" not in record:
+            # Still pending after the grace window (sheds already carry an
+            # error from admission and must not be relabelled as timeouts).
             record["ok"] = False
             record["error"] = "timeout"
             errors += 1
@@ -238,6 +268,11 @@ def run_phase(
         "cache_hit_rate": snapshot["cache_hit_rate"],
         "queue_wait_p95_ms": snapshot.get("queue_wait_p95_ms", 0.0),
         "service_p95_ms": snapshot.get("service_p95_ms", 0.0),
+        "rejected": snapshot.get("rejected", 0.0),
+        "expired": snapshot.get("expired", 0.0),
+        "restarts": snapshot.get("restarts", 0.0),
+        "retries": snapshot.get("retries", 0.0),
+        "quarantined": snapshot.get("quarantined", 0.0),
     }
     if latency_hist.count:
         p50, p95, p99 = latency_hist.quantiles([0.50, 0.95, 0.99])
@@ -248,6 +283,62 @@ def run_phase(
             latency_p99_ms=1e3 * p99,
             latency_max_ms=1e3 * latency_hist.max,
         )
+    return row
+
+
+# ----------------------------------------------------------------------
+# Chaos phase
+# ----------------------------------------------------------------------
+def run_chaos_phase(
+    args,
+    session: InferenceSession,
+    rng: np.random.Generator,
+    client_sink: NdjsonSink,
+) -> Dict[str, object]:
+    """One open-loop phase against a resilience-configured server under a
+    seeded :class:`FaultPlan`: a persistent poison (quarantine), a worker
+    crash (supervisor restart), and a slow step that overflows the bounded
+    queue (sheds) and pushes queued requests past their deadline (expiry).
+
+    Exact shed/expired counts are arrival-timing dependent (the serve smoke
+    pins them bitwise on a deterministic schedule); here the self-check
+    asserts the *contract*: every server-side counter increment surfaces
+    client-side as the matching typed error.
+    """
+    rate = max(args.rates)
+    plan = (
+        FaultPlan(seed=args.seed)
+        .poison_at(_CHAOS_POISON_AT)
+        .crash_at(_CHAOS_CRASH_AT)
+        .slow_at(_CHAOS_SLOW_AT, ms=_CHAOS_SLOW_MS)
+    )
+    server = Server(
+        session,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        cache_size=0,  # response caching would mask fault/admission behavior
+        workers=args.workers,
+        queue_limit=_CHAOS_QUEUE_LIMIT,
+        default_deadline_ms=_CHAOS_DEADLINE_MS,
+        faults=plan,
+    )
+    print(
+        f"loadgen: chaos {args.duration:.1f}s @ {rate:g} rps, "
+        f"queue_limit {_CHAOS_QUEUE_LIMIT}, deadline {_CHAOS_DEADLINE_MS:g} ms, "
+        f"plan {plan!r}"
+    )
+    with server:
+        row = run_phase(server, rng, rate, args.duration, args.sizes,
+                        "chaos", client_sink)
+    row["fault_plan"] = repr(plan)
+    print(
+        "loadgen: chaos: {completed} ok, {shed:.0f} shed, {expired:.0f} expired, "
+        "{restarts:.0f} restarted, {quarantined:.0f} quarantined".format(
+            completed=row["completed"], shed=row["rejected"],
+            expired=row["expired"], restarts=row["restarts"],
+            quarantined=row["quarantined"],
+        )
+    )
     return row
 
 
@@ -337,6 +428,37 @@ def render_report(
         bar = "#" * max(1, int(round(40 * cold_rps / max_achieved)))
         lines.append(f"{rate:>11g}    {bar} {cold_rps:.1f}")
     lines.append("```")
+    chaos_rows = [row for row in rows if row.get("phase") == "chaos"]
+    if chaos_rows:
+        chaos = chaos_rows[0]
+        lines += [
+            "",
+            "## Chaos — seeded fault injection",
+            "",
+            f"- fault plan `{chaos.get('fault_plan', '?')}`; fresh server with "
+            f"queue_limit {_CHAOS_QUEUE_LIMIT}, "
+            f"default_deadline_ms {_CHAOS_DEADLINE_MS:g}, cache off",
+            "- typed-error contract: every shed / expired / quarantined request "
+            "surfaces client-side as `ServerOverloaded` / `DeadlineExceeded` / "
+            "`RequestQuarantined` (cross-checked against the server counters "
+            "by the self-check)",
+            "",
+            "| offered rps | requests | completed | shed | expired | restarted "
+            "| retried | quarantined | p95 ms |",
+            "|---:|---:|---:|---:|---:|---:|---:|---:|---:|",
+            "| {rate:g} | {requests} | {completed} | {shed:.0f} | {expired:.0f} "
+            "| {restarts:.0f} | {retries:.0f} | {quarantined:.0f} | {p95} |".format(
+                rate=chaos["rate"],
+                requests=chaos["requests"],
+                completed=chaos["completed"],
+                shed=chaos["rejected"],
+                expired=chaos["expired"],
+                restarts=chaos["restarts"],
+                retries=chaos["retries"],
+                quarantined=chaos["quarantined"],
+                p95=_fmt(chaos.get("latency_p95_ms", 0.0)),
+            ),
+        ]
     if soak_rows:
         lines += [
             "",
@@ -361,12 +483,60 @@ def render_report(
 # ----------------------------------------------------------------------
 # Self-check
 # ----------------------------------------------------------------------
+def _check_chaos(
+    rows: List[Dict[str, object]],
+    per_request: List[Dict[str, object]],
+) -> List[str]:
+    """Chaos-phase invariants.
+
+    Exact shed/expired counts depend on arrival timing, so the check pins
+    what *is* deterministic — the injected poison quarantines exactly one
+    request, the injected crash restarts the worker, the stalled queue sheds
+    and expires at least one request each — plus the typed-error contract:
+    client-observed ``ServerOverloaded`` / ``DeadlineExceeded`` /
+    ``RequestQuarantined`` tallies equal the server-side counters.
+    """
+    failures: List[str] = []
+    chaos_rows = [row for row in rows if row.get("phase") == "chaos"]
+    if not chaos_rows:
+        return ["chaos enabled but no chaos summary row was produced"]
+    row = chaos_rows[0]
+    chaos_records = [r for r in per_request if r.get("phase") == "chaos"]
+    for key, marker in (
+        ("rejected", "ServerOverloaded"),
+        ("expired", "DeadlineExceeded"),
+        ("quarantined", "RequestQuarantined"),
+    ):
+        client = sum(
+            1 for r in chaos_records if marker in str(r.get("error", ""))
+        )
+        server_side = int(row.get(key, -1))
+        if client != server_side:
+            failures.append(
+                f"chaos: client saw {client} {marker} error(s) but the server "
+                f"counted {key}={server_side}"
+            )
+    if int(row.get("restarts", 0)) < 1:
+        failures.append("chaos: injected crash produced no worker restart")
+    if int(row.get("quarantined", 0)) != 1:
+        failures.append(
+            f"chaos: injected poison should quarantine exactly 1 request, "
+            f"got {row.get('quarantined')}"
+        )
+    if int(row.get("rejected", 0)) < 1:
+        failures.append("chaos: the slow-step stall shed no requests")
+    if int(row.get("expired", 0)) < 1:
+        failures.append("chaos: no queued request expired past its deadline")
+    return failures
+
+
 def self_check(
     run_dir: str,
     report_path: str,
     rows: List[Dict[str, object]],
     rates: Sequence[float],
     telemetry_on: bool,
+    chaos: bool = False,
 ) -> List[str]:
     """Validate the run's artifacts; returns failure messages (empty == ok)."""
     failures: List[str] = []
@@ -411,6 +581,8 @@ def self_check(
                 f"requests.ndjson carries {len(per_request)} loadgen_request "
                 f"records, expected {expected}"
             )
+        if chaos:
+            failures.extend(_check_chaos(rows, per_request))
     if telemetry_on:
         events_path = os.path.join(run_dir, "events.ndjson")
         try:
@@ -430,7 +602,10 @@ def self_check(
     except OSError as error:
         failures.append(f"report unreadable: {error}")
     else:
-        for heading in ("## Latency vs offered load", "## Throughput vs offered load"):
+        headings = ["## Latency vs offered load", "## Throughput vs offered load"]
+        if chaos:
+            headings.append("## Chaos")
+        for heading in headings:
             if heading not in report_text:
                 failures.append(f"report is missing section {heading!r}")
         for rate in rates:
@@ -470,6 +645,10 @@ def parse_args(argv: Optional[Sequence[str]] = None) -> argparse.Namespace:
                         help="root directory for run output")
     parser.add_argument("--run-id", default=None)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--chaos", action="store_true",
+                        help="after the sweep, run a seeded fault-injection phase "
+                             "(poison/crash/slow) against a resilience-configured "
+                             "server and report shed/expired/restart counts")
     parser.add_argument("--no-telemetry", action="store_true",
                         help="skip the server-side telemetry sink (client records still written)")
     parser.add_argument("--no-check", action="store_true",
@@ -524,6 +703,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "seed": args.seed,
             "artifact_bytes": artifact_info["bytes"],
             "telemetry": not args.no_telemetry,
+            "chaos": args.chaos,
         },
     )
 
@@ -571,6 +751,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     client_sink, pool=pool, tick_s=args.tick, tick_rows=soak_rows,
                 )
                 rows.append(soak_summary)
+        if args.chaos:
+            # A fresh server: the chaos phase needs its own admission knobs
+            # (queue_limit, default deadline) and a seeded FaultPlan, none of
+            # which should perturb the sweep/soak measurements above.
+            rows.append(run_chaos_phase(args, session, rng, client_sink))
     finally:
         if telemetry_on:
             obs.reset_telemetry()
@@ -588,13 +773,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"loadgen: report -> {report_path}")
 
     if not args.no_check:
-        failures = self_check(run_dir, report_path, rows, args.rates, telemetry_on)
+        failures = self_check(run_dir, report_path, rows, args.rates, telemetry_on,
+                              chaos=args.chaos)
         if failures:
             for failure in failures:
                 print(f"loadgen self-check FAILED: {failure}")
             return 1
+        suffix = (", chaos typed-error tallies match server counters"
+                  if args.chaos else "")
         print("loadgen self-check OK: percentiles monotone, manifest complete, "
-              "NDJSON parseable, report renders every rate")
+              f"NDJSON parseable, report renders every rate{suffix}")
     return 0
 
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 import os
 import sys
 import tempfile
+import time
 
 import numpy as np
 
@@ -25,9 +26,130 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 from repro import obs  # noqa: E402
 from repro.autograd.tensor import Tensor, no_grad  # noqa: E402
 from repro.csq.convert import materialize_quantized  # noqa: E402
-from repro.deploy import InferenceSession, Server, load_artifact, save_artifact  # noqa: E402
+from repro.deploy import (  # noqa: E402
+    DeadlineExceeded,
+    FaultPlan,
+    InferenceSession,
+    RequestQuarantined,
+    Server,
+    ServerOverloaded,
+    load_artifact,
+    save_artifact,
+)
 from repro.deploy.testing import frozen_mixed_model  # noqa: E402
 from repro.utils import seed_everything  # noqa: E402
+
+
+def _await_stalled_worker(server: Server, timeout: float = 5.0) -> bool:
+    deadline = time.perf_counter() + timeout
+    while server._queue.qsize() > 0:
+        if time.perf_counter() >= deadline:
+            return False
+        time.sleep(1e-3)
+    return True
+
+
+def chaos_env_leg(session: InferenceSession) -> str:
+    """Seeded chaos soak via the REPRO_FAULTS knob (the tier-1 recovery gate).
+
+    One worker, ``max_batch=1`` (solo batches are the configuration where
+    bitwise parity is guaranteed — batch size changes BLAS accumulation
+    order), ten sequential requests, four injected failures: a slow step, a
+    worker crash, a persistent poison, and a payload bit-flip.  The server
+    must restart the crashed worker, quarantine the poison, and return a
+    bit-identical result for every other request.  Returns an error string,
+    or "" on success.
+    """
+    rng = np.random.default_rng(2)
+    images = [rng.standard_normal((3, 10, 10)).astype(np.float32) for _ in range(10)]
+    refs = [session.run(x[None])[0] for x in images]
+    poison_index, flip_index = 5, 7
+    saved = os.environ.get("REPRO_FAULTS")
+    os.environ["REPRO_FAULTS"] = "seed=0;crash@2;slow@0:100;poison@5;flip@7:22"
+    try:
+        with Server(session, max_batch=1, max_wait_ms=0.0) as server:
+            plan = server._faults
+            results = {}
+            quarantined = []
+            for index, x in enumerate(images):
+                try:
+                    results[index] = server.predict(x, timeout=10.0)
+                except RequestQuarantined:
+                    quarantined.append(index)
+            stats = server.stats.snapshot()
+        if quarantined != [poison_index]:
+            return f"chaos(env): quarantined requests {quarantined}, expected [{poison_index}]"
+        if stats["restarts"] != 1:
+            return f"chaos(env): {stats['restarts']:.0f} worker restarts, expected 1"
+        if stats["quarantined"] != 1:
+            return f"chaos(env): quarantined count {stats['quarantined']:.0f}, expected 1"
+        counts = plan.counts()
+        if counts["crash"] != 1 or counts["flip"] != 1 or counts["poison"] < 1 or counts["slow"] != 1:
+            return f"chaos(env): fault plan not consumed as scheduled: {counts}"
+        if results[flip_index].tobytes() == refs[flip_index].tobytes():
+            return "chaos(env): bit-flipped payload served the unflipped result"
+        for index, ref in enumerate(refs):
+            if index in (poison_index, flip_index):
+                continue
+            if results[index].tobytes() != ref.tobytes():
+                return (
+                    f"chaos(env): request {index} not bitwise identical to its "
+                    f"solo reference after recovery"
+                )
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_FAULTS", None)
+        else:
+            os.environ["REPRO_FAULTS"] = saved
+    return ""
+
+
+def chaos_deterministic_leg(session: InferenceSession) -> str:
+    """Programmatic FaultPlan: shed + expiry counts are exact, not statistical.
+
+    A 250 ms stall pins the single worker, so with ``queue_limit=3`` exactly
+    3 of 8 follow-up submits are admitted and 5 shed with
+    :class:`ServerOverloaded`; the admitted 3 carry 60 ms deadlines and
+    expire at dequeue — the GEMM count proves no expired request computed.
+    Returns an error string, or "" on success.
+    """
+    rng = np.random.default_rng(3)
+    images = [rng.standard_normal((3, 10, 10)).astype(np.float32) for _ in range(9)]
+    plan = FaultPlan(seed=0).slow_at(0, ms=250)
+    server = Server(session, max_batch=1, max_wait_ms=0.0,
+                    queue_limit=3, faults=plan)
+    with server:
+        stalled = server.submit(images[0])
+        if not _await_stalled_worker(server):
+            return "chaos(det): worker never dequeued the stalling request"
+        calls_before = session.stats["calls"]
+        admitted, shed = [], 0
+        for x in images[1:]:
+            try:
+                admitted.append(server.submit(x, deadline_ms=60))
+            except ServerOverloaded:
+                shed += 1
+        stalled.result(timeout=10.0)
+        expired = 0
+        for future in admitted:
+            try:
+                future.result(timeout=10.0)
+            except DeadlineExceeded:
+                expired += 1
+        stats = server.stats.snapshot()
+    if (len(admitted), shed) != (3, 5):
+        return f"chaos(det): {len(admitted)} admitted / {shed} shed, expected 3 / 5"
+    if expired != 3 or stats["expired"] != 3:
+        return f"chaos(det): {expired} expired ({stats['expired']:.0f} counted), expected 3"
+    if stats["rejected"] != 5:
+        return f"chaos(det): rejected count {stats['rejected']:.0f}, expected 5"
+    calls_delta = session.stats["calls"] - calls_before
+    if calls_delta != 1:
+        return (
+            f"chaos(det): {calls_delta} forward passes after the stall, expected 1 "
+            f"— an expired request consumed GEMM time"
+        )
+    return ""
 
 
 def main() -> int:
@@ -65,6 +187,23 @@ def main() -> int:
         if stats["served"] < len(images):
             print(f"serve smoke FAILED: server answered {stats['served']} of {len(images)}")
             return 1
+
+    # --- chaos legs: seeded faults, recovery + parity + exact shedding ---
+    # A small convnet whose logits are visibly sensitive to a one-bit input
+    # flip (this frozen resnet20's are not: a whole-channel +1.0 moves its
+    # logits by ~1e-7, below float32 resolution, so a flipped payload could
+    # serve bit-identical results and void the corruption assertion).
+    chaos_model = frozen_mixed_model("simple_convnet", num_classes=10, width=8)
+    with tempfile.TemporaryDirectory(prefix="repro_serve_smoke_chaos_") as tmp:
+        path = os.path.join(tmp, "convnet.npz")
+        save_artifact(chaos_model, path, arch="simple_convnet",
+                      arch_kwargs={"num_classes": 10, "width": 8})
+        chaos_session = InferenceSession(load_artifact(path))
+        for leg in (chaos_env_leg, chaos_deterministic_leg):
+            failure = leg(chaos_session)
+            if failure:
+                print(f"serve smoke FAILED: {failure}")
+                return 1
 
     # --- integer-activation leg: act_bits=4 resnet20 -------------------
     act_model = frozen_mixed_model(
@@ -165,7 +304,8 @@ def main() -> int:
         f"{int(stats['served'])} requests in {int(stats['batches'])} batches "
         f"(mean batch {stats['mean_batch_size']:.1f}); act4 trace: "
         f"{len(step_spans)} plan.step spans across {len(batch_spans)} batches, "
-        f"kernels {'/'.join(sorted(span_tags))}"
+        f"kernels {'/'.join(sorted(span_tags))}; chaos: crash recovered "
+        f"bitwise, poison quarantined, 5 shed / 3 expired exactly"
     )
     return 0
 

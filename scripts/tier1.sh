@@ -9,12 +9,18 @@ cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 python -m pytest tests -q "$@"
 
-# Serve smoke: artifact -> session -> server round trip (seconds, no training).
+# Serve smoke: artifact -> session -> server round trip (seconds, no
+# training), including two deterministic chaos legs (REPRO_FAULTS env knob
+# and a programmatic FaultPlan) that pin crash-restart bitwise parity,
+# poison quarantine, and exact shed/expiry counts.
 python scripts/serve_smoke.py
 
 # Load-generator smoke: one tiny open-loop sweep + soak against a packed
 # resnet20, with the built-in self-check (report parses, percentiles
-# monotone, provenance manifest complete).  See OBSERVABILITY.md.
+# monotone, provenance manifest complete), plus a seeded --chaos phase
+# whose self-check cross-validates client-observed typed errors against
+# the server's shed/expired/restart/quarantine counters.  See
+# OBSERVABILITY.md and DEPLOYMENT.md ("Resilience").
 LOADGEN_OUT="$(mktemp -d /tmp/loadgen_smoke.XXXXXX)"
 trap 'rm -rf "$LOADGEN_OUT"' EXIT
-python scripts/loadgen.py --smoke --out "$LOADGEN_OUT"
+python scripts/loadgen.py --smoke --chaos --out "$LOADGEN_OUT"

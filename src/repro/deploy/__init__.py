@@ -23,10 +23,17 @@ See DEPLOYMENT.md for the format specification and design notes.
 from repro.deploy.packing import PackedCodes, pack_codes, unpack_codes
 from repro.deploy.artifact import (
     Artifact,
+    ArtifactCorrupt,
     ArtifactError,
     QuantizedTensorRecord,
     load_artifact,
     save_artifact,
+)
+from repro.deploy.faults import (
+    FaultPlan,
+    InjectedFault,
+    InjectedPoison,
+    InjectedWorkerCrash,
 )
 from repro.deploy.plan import (
     ActQuantSpec,
@@ -36,13 +43,22 @@ from repro.deploy.plan import (
     register_plan_handler,
 )
 from repro.deploy.session import InferenceSession
-from repro.deploy.server import Server, ServerStats
+from repro.deploy.server import (
+    DeadlineExceeded,
+    RequestQuarantined,
+    Server,
+    ServerError,
+    ServerOverloaded,
+    ServerStats,
+    ServerStopped,
+)
 
 __all__ = [
     "PackedCodes",
     "pack_codes",
     "unpack_codes",
     "Artifact",
+    "ArtifactCorrupt",
     "ArtifactError",
     "QuantizedTensorRecord",
     "save_artifact",
@@ -52,7 +68,16 @@ __all__ = [
     "compile_plan",
     "plan_summary",
     "register_plan_handler",
+    "FaultPlan",
+    "InjectedFault",
+    "InjectedPoison",
+    "InjectedWorkerCrash",
     "InferenceSession",
     "Server",
+    "ServerError",
+    "ServerOverloaded",
+    "DeadlineExceeded",
+    "RequestQuarantined",
+    "ServerStopped",
     "ServerStats",
 ]

@@ -108,6 +108,11 @@ class InferenceSession:
         )
         self._calls = 0
         self._examples = 0
+        # Best-effort re-entrance tripwire (run() reuses GEMM buffers, so
+        # two concurrent batches on one session corrupt each other): a plain
+        # flag, cheap enough for the hot path, catching the common misuse of
+        # sharing one session across threads instead of clone()-per-worker.
+        self._in_flight = False
         #: Opt-in per-step profiler (see :meth:`set_profiling`): when on,
         #: ``run`` times every plan step and keeps the result in
         #: :attr:`last_profile`; with telemetry enabled it additionally
@@ -203,11 +208,22 @@ class InferenceSession:
         """Run the plan over a batch; returns the logits as float32."""
         out = np.ascontiguousarray(x, dtype=np.float32)
         batch = out.shape[0]
-        if self.profile_enabled:
-            out = self._run_steps_profiled(out, batch)
-        else:
-            for step in self.plan:
-                out = step(out)
+        if self._in_flight:
+            raise RuntimeError(
+                "InferenceSession.run is not re-entrant: this session is "
+                "already executing a batch (its plan steps reuse GEMM "
+                "buffers).  Use clone() to get an independent session per "
+                "thread — Server(workers=N) does this for you."
+            )
+        self._in_flight = True
+        try:
+            if self.profile_enabled:
+                out = self._run_steps_profiled(out, batch)
+            else:
+                for step in self.plan:
+                    out = step(out)
+        finally:
+            self._in_flight = False
         self._calls += 1
         self._examples += batch
         # The caller must own the result: a plan ending in a ConvStep hands

@@ -69,6 +69,20 @@ class Telemetry:
         if sink is not None:
             sink.emit(record)
 
+    def warn(self, message: str, **attrs: object) -> None:
+        """Count one degraded-but-continuing condition and emit its record.
+
+        Increments the ``telemetry.warnings`` counter and (when a sink is
+        attached) emits a ``{"type": "warning", "message": ..., **attrs}``
+        event — the channel for conditions worth surfacing without failing,
+        e.g. loading a pre-checksum artifact whose integrity can't be
+        verified.
+        """
+        self.registry.counter("telemetry.warnings").inc()
+        record: Dict[str, object] = {"type": "warning", "message": message}
+        record.update(attrs)
+        self.emit(record)
+
     def close(self) -> None:
         sink = self._sink
         if sink is not None:

@@ -1,0 +1,99 @@
+"""FaultPlan: spec parsing, the REPRO_FAULTS knob, and injection semantics."""
+
+import numpy as np
+import pytest
+
+from repro.deploy.faults import FaultPlan, InjectedPoison
+
+
+class TestParse:
+    def test_full_grammar_round_trip(self):
+        plan = FaultPlan.parse("seed=7;crash@2;slow@0:200;poison@7;flip@5:12")
+        assert plan.seed == 7
+        assert plan.take_crash(2) is True
+        assert plan.take_crash(2) is False  # one-shot by default
+        assert plan.take_slow([0]) == 200.0
+        assert plan.take_slow([0]) == 0.0
+        with pytest.raises(InjectedPoison):
+            plan.check_poison([7])
+        with pytest.raises(InjectedPoison):  # persistent: every attempt fails
+            plan.check_poison([7])
+        x = np.ones(4, dtype=np.float32)
+        flipped = plan.apply_flip(x, 5)
+        assert flipped is not x
+        assert plan.counts() == {"crash": 1, "slow": 1, "poison": 2, "flip": 1}
+
+    def test_multi_index_targets(self):
+        plan = FaultPlan.parse("crash@1+3")
+        assert plan.take_crash(1) and plan.take_crash(3)
+        assert not plan.take_crash(2)
+
+    def test_slow_accepts_ms_suffix_and_default(self):
+        assert FaultPlan.parse("slow@0:150ms").take_slow([0]) == 150.0
+        assert FaultPlan.parse("slow@0").take_slow([0]) == 25.0
+
+    def test_one_shot_poison(self):
+        plan = FaultPlan.parse("poison@4:1")
+        with pytest.raises(InjectedPoison):
+            plan.check_poison([4])
+        plan.check_poison([4])  # exhausted: the retry passes
+
+    @pytest.mark.parametrize("spec", [
+        "bogus@1", "crash", "crash@x", "crash@", "slow@1:abc",
+        "seed=x", "flip@0:99",
+    ])
+    def test_invalid_specs_raise(self, spec):
+        with pytest.raises(ValueError, match="REPRO_FAULTS|flip bit"):
+            FaultPlan.parse(spec)
+
+    def test_repr_names_registered_faults(self):
+        plan = FaultPlan.parse("seed=3;crash@2;poison@7")
+        assert "seed=3" in repr(plan)
+        assert "crash@2" in repr(plan)
+        assert "poison@7" in repr(plan)
+
+
+class TestFromEnv:
+    @pytest.mark.parametrize("value", ["", "0", "off", "false", "no", "OFF"])
+    def test_falsy_values_disable(self, value):
+        assert FaultPlan.from_env({"REPRO_FAULTS": value}) is None
+
+    def test_unset_disables(self):
+        assert FaultPlan.from_env({}) is None
+
+    def test_spec_builds_plan(self):
+        plan = FaultPlan.from_env({"REPRO_FAULTS": "seed=1;crash@0"})
+        assert plan is not None and plan.seed == 1
+        assert plan.take_crash(0)
+
+
+class TestInjection:
+    def test_admission_indices_are_sequential(self):
+        plan = FaultPlan()
+        assert [plan.next_index() for _ in range(3)] == [0, 1, 2]
+        assert plan.admitted() == 3
+
+    def test_flip_changes_exactly_one_bit_and_stays_finite(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(48).astype(np.float32)
+        flipped = FaultPlan(seed=0).flip_at(0).apply_flip(x, 0)
+        xor = x.view(np.uint32) ^ flipped.view(np.uint32)
+        assert sum(bin(int(v)).count("1") for v in xor) == 1
+        # Default flip bits come from the mantissa, so no inf/nan appears.
+        assert np.isfinite(flipped).all()
+
+    def test_flip_is_seed_deterministic(self):
+        x = np.arange(32, dtype=np.float32) + 1.0
+        a = FaultPlan(seed=9).flip_at(0).apply_flip(x, 0)
+        b = FaultPlan(seed=9).flip_at(0).apply_flip(x, 0)
+        assert a.tobytes() == b.tobytes()
+        assert a.tobytes() != x.tobytes()
+
+    def test_unmatched_indices_do_nothing(self):
+        plan = FaultPlan().crash_at(5).slow_at(5).poison_at(5)
+        x = np.ones(3, dtype=np.float32)
+        assert not plan.take_crash(0)
+        assert plan.take_slow([0, 1]) == 0.0
+        plan.check_poison([0, 1])
+        assert plan.apply_flip(x, 0) is x
+        assert plan.counts() == {"crash": 0, "slow": 0, "poison": 0, "flip": 0}
