@@ -15,6 +15,14 @@ python -m pytest tests -q "$@"
 # poison quarantine, and exact shed/expiry counts.
 python scripts/serve_smoke.py
 
+# Train-resume smoke: crash-safe training round trip (seconds, quick
+# resnet20 CSQ on synthetic data).  Kills the run at injected steps via
+# REPRO_FAULTS="preempt@N", auto-resumes from the newest checkpoint, and
+# asserts final weights and histories are bitwise identical to an
+# uninterrupted run; a corrupt-checkpoint leg must skip the torn file
+# with a telemetry warning and fall back to the previous valid one.
+python scripts/train_resume_smoke.py
+
 # Load-generator smoke: one tiny open-loop sweep + soak against a packed
 # resnet20, with the built-in self-check (report parses, percentiles
 # monotone, provenance manifest complete), plus a seeded --chaos phase

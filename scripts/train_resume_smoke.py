@@ -1,0 +1,247 @@
+#!/usr/bin/env python
+"""Crash-safe training smoke: kill, resume, and compare bitwise.
+
+Exercises the full crash/recovery story of the checkpointing trainer on a
+quick resnet20 CSQ run (synthetic data, seconds on CPU):
+
+1. **Reference leg** — an uninterrupted run; final weights and histories
+   are the ground truth.
+2. **Kill/resume legs** — for each injected step, a fresh subprocess runs
+   the same training with ``REPRO_FAULTS="preempt@STEP"`` and a checkpoint
+   directory; the injected preemption kills it (exit code 17).  A second
+   subprocess with ``resume="auto"`` picks up from the newest checkpoint
+   and must finish with weights and histories **bitwise identical** to the
+   reference — the injected steps deliberately include both a mid-epoch
+   kill and an epoch-boundary kill, in both the CSQ and finetune phases.
+3. **Corrupt-fallback leg** — before resuming one killed run, the newest
+   checkpoint is bit-flipped.  The resume must *skip* it with a telemetry
+   warning (asserted from the NDJSON stream, along with the ``checkpoint``
+   save/resume records), fall back to the previous valid checkpoint, and
+   still reproduce the reference bitwise.
+
+Each leg runs in its own subprocess (``--worker``) so resume starts from
+genuinely fresh process state, exactly like a restart after preemption.
+
+Exit code 0 when every leg passes; 1 with a FAILED line otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+import numpy as np  # noqa: E402
+
+#: Worker exit code for "killed by injected preemption" (distinguishes the
+#: expected death from an actual crash, which shows as a traceback + code 1).
+PREEMPTED_EXIT = 17
+
+#: Global optimizer steps to kill at.  With 2 steps/epoch, 4 CSQ epochs and
+#: 2 finetune epochs (12 steps total): step 3 is mid-epoch in the CSQ
+#: phase, step 4 an epoch boundary, step 9 is mid-finetune.
+KILL_STEPS = (3, 4, 9)
+
+
+# ----------------------------------------------------------------------
+# Worker: one training leg in this process
+# ----------------------------------------------------------------------
+def build_trainer(checkpoint_dir):
+    from repro.csq import CSQConfig, CSQTrainer
+    from repro.data import DataLoader
+    from repro.data.synthetic import SyntheticConfig, SyntheticImageClassification
+    from repro.models import resnet20
+    from repro.utils import seed_everything
+
+    seed_everything(0)
+    data = SyntheticConfig(
+        num_classes=4, image_size=8, train_size=64, test_size=32,
+        modes_per_class=1, noise=0.5, seed=0,
+    )
+    train_loader = DataLoader(
+        SyntheticImageClassification(data, train=True),
+        batch_size=32, shuffle=True, seed=0, prefetch=True,
+    )
+    test_loader = DataLoader(SyntheticImageClassification(data, train=False), batch_size=32)
+    model = resnet20(num_classes=4, width_mult=0.25)
+    config = CSQConfig(
+        epochs=4, finetune_epochs=2, lr=0.05, num_bits=4, target_bits=2.5,
+    )
+    return CSQTrainer(
+        model, train_loader, test_loader, config,
+        checkpoint_dir=checkpoint_dir, checkpoint_every=1, keep=3,
+    )
+
+
+def history_payload(history):
+    return {
+        "train_loss": history.train_loss,
+        "train_accuracy": history.train_accuracy,
+        "test_loss": history.test_loss,
+        "test_accuracy": history.test_accuracy,
+        "extra": history.extra,
+    }
+
+
+def run_worker(args):
+    from repro.deploy.faults import InjectedPreemption
+    from repro.obs import NdjsonSink, configure_telemetry
+
+    if args.telemetry_dir:
+        configure_telemetry(
+            enabled=True, sink=NdjsonSink(args.telemetry_dir, run_id=args.telemetry_run)
+        )
+    trainer = build_trainer(args.checkpoint_dir or None)
+    try:
+        trainer.train()
+    except InjectedPreemption as error:
+        print(f"[worker] {error}", flush=True)
+        return PREEMPTED_EXIT
+    arrays = {
+        f"model::{name}": np.asarray(value)
+        for name, value in trainer.model.state_dict().items()
+    }
+    arrays["histories"] = np.frombuffer(
+        json.dumps(
+            {
+                "history": history_payload(trainer.history),
+                "finetune": history_payload(trainer.finetune_history),
+            },
+            sort_keys=True,
+        ).encode("utf-8"),
+        dtype=np.uint8,
+    )
+    np.savez(args.out, **arrays)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Driver: orchestrate the legs
+# ----------------------------------------------------------------------
+def run_leg(out, checkpoint_dir=None, faults=None, telemetry_dir=None, telemetry_run=None):
+    command = [sys.executable, os.path.abspath(__file__), "--worker", "--out", out]
+    if checkpoint_dir:
+        command += ["--checkpoint-dir", checkpoint_dir]
+    if telemetry_dir:
+        command += ["--telemetry-dir", telemetry_dir, "--telemetry-run", telemetry_run]
+    env = dict(os.environ)
+    env.pop("REPRO_FAULTS", None)
+    env.pop("REPRO_TELEMETRY", None)
+    if faults:
+        env["REPRO_FAULTS"] = faults
+    result = subprocess.run(command, env=env, capture_output=True, text=True)
+    if result.returncode not in (0, PREEMPTED_EXIT):
+        sys.stderr.write(result.stdout + result.stderr)
+        raise SystemExit(f"FAILED: worker exited with {result.returncode}")
+    return result.returncode
+
+
+def check(condition, label):
+    if condition:
+        print(f"  ok: {label}")
+    else:
+        raise SystemExit(f"FAILED: {label}")
+
+
+def compare_runs(reference_path, candidate_path, label):
+    with np.load(reference_path) as ref, np.load(candidate_path) as got:
+        check(sorted(ref.files) == sorted(got.files), f"{label}: same state-dict keys")
+        for name in ref.files:
+            a, b = ref[name], got[name]
+            if a.tobytes() != b.tobytes() or a.dtype != b.dtype:
+                raise SystemExit(f"FAILED: {label}: {name} differs bitwise")
+    print(f"  ok: {label}: weights and histories bitwise identical")
+
+
+def flip_bit(path):
+    size = os.path.getsize(path)
+    with open(path, "r+b") as handle:
+        handle.seek(size // 2)
+        byte = handle.read(1)
+        handle.seek(-1, os.SEEK_CUR)
+        handle.write(bytes([byte[0] ^ 0x01]))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--worker", action="store_true")
+    parser.add_argument("--out", default=None)
+    parser.add_argument("--checkpoint-dir", default=None)
+    parser.add_argument("--telemetry-dir", default=None)
+    parser.add_argument("--telemetry-run", default="resume-smoke")
+    args = parser.parse_args()
+    if args.worker:
+        raise SystemExit(run_worker(args))
+
+    tmp = tempfile.mkdtemp(prefix="train-resume-smoke-")
+    try:
+        print("[1/3] reference: uninterrupted run")
+        reference = os.path.join(tmp, "reference.npz")
+        code = run_leg(reference)
+        check(code == 0, "reference leg completes")
+
+        print(f"[2/3] kill/resume at steps {KILL_STEPS}")
+        killed_dirs = {}
+        for step in KILL_STEPS:
+            ckpt_dir = os.path.join(tmp, f"ckpt-kill{step}")
+            code = run_leg(os.path.join(tmp, "unused.npz"),
+                           checkpoint_dir=ckpt_dir, faults=f"preempt@{step}")
+            check(code == PREEMPTED_EXIT, f"preempt@{step} kills the run (exit {PREEMPTED_EXIT})")
+            killed_dirs[step] = ckpt_dir
+        # Preserve one killed state for the corrupt leg before resuming it.
+        corrupt_dir = os.path.join(tmp, "ckpt-corrupt")
+        shutil.copytree(killed_dirs[KILL_STEPS[-1]], corrupt_dir)
+        for step, ckpt_dir in killed_dirs.items():
+            resumed = os.path.join(tmp, f"resumed-{step}.npz")
+            telemetry_dir = os.path.join(tmp, f"telemetry-{step}")
+            code = run_leg(resumed, checkpoint_dir=ckpt_dir,
+                           telemetry_dir=telemetry_dir, telemetry_run="resume")
+            check(code == 0, f"resume after preempt@{step} completes")
+            compare_runs(reference, resumed, f"resume after preempt@{step}")
+            events = read_events(os.path.join(telemetry_dir, "resume"))
+            kinds = {(r.get("type"), r.get("event")) for r in events}
+            check(("checkpoint", "resume") in kinds, f"step {step}: NDJSON checkpoint resume record")
+            check(("checkpoint", "save") in kinds, f"step {step}: NDJSON checkpoint save records")
+
+        print("[3/3] corrupt newest checkpoint: skip, warn, fall back, still bitwise")
+        checkpoints = sorted(glob.glob(os.path.join(corrupt_dir, "ckpt-*.npz")))
+        check(len(checkpoints) >= 2, "killed run left >= 2 checkpoints to fall back across")
+        flip_bit(checkpoints[-1])
+        resumed = os.path.join(tmp, "resumed-corrupt.npz")
+        telemetry_dir = os.path.join(tmp, "telemetry-corrupt")
+        code = run_leg(resumed, checkpoint_dir=corrupt_dir,
+                       telemetry_dir=telemetry_dir, telemetry_run="corrupt")
+        check(code == 0, "resume with a corrupt newest checkpoint completes")
+        compare_runs(reference, resumed, "corrupt-fallback resume")
+        events = read_events(os.path.join(telemetry_dir, "corrupt"))
+        warnings = [r for r in events if r.get("type") == "warning"]
+        check(
+            any("corrupt checkpoint" in str(r.get("message", "")) for r in warnings),
+            "corrupt checkpoint skip emitted a telemetry warning",
+        )
+        resumes = [r for r in events if r.get("type") == "checkpoint" and r.get("event") == "resume"]
+        check(
+            resumes and resumes[0].get("path") == checkpoints[-2],
+            "resume fell back to the previous valid checkpoint",
+        )
+        print("PASSED: train_resume_smoke")
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def read_events(run_dir):
+    from repro.obs import read_ndjson
+
+    return read_ndjson(os.path.join(run_dir, "events.ndjson"))
+
+
+if __name__ == "__main__":
+    main()

@@ -37,6 +37,7 @@ from repro.nn.module import Module
 from repro.optim.lr_scheduler import WarmupCosine
 from repro.optim.sgd import SGD
 from repro.quant.scheme import QuantizationScheme
+from repro.training.checkpoint import Checkpointer, TrainState, capture_rng, restore_rng
 from repro.training.loop import TrainingHistory, evaluate, iter_batches
 
 
@@ -81,6 +82,19 @@ class CSQTrainer:
         Mini-batch loaders over the training and evaluation splits.
     config:
         :class:`CSQConfig` with the run's hyper-parameters.
+    checkpoint_dir / checkpoint_every / resume / keep:
+        Crash-safe checkpointing (see :mod:`repro.training.checkpoint`).
+        With ``checkpoint_dir`` set, a checkpoint capturing the model,
+        optimizer, scheduler, gate state, histories, and every RNG stream
+        is written atomically after each ``checkpoint_every``-th epoch of
+        a phase (keeping the ``keep`` newest files).  ``resume="auto"``
+        (the default) restores the newest *valid* checkpoint before
+        training, skipping corrupt files, so a killed run continues
+        bitwise-exactly; ``resume="never"`` ignores existing checkpoints.
+    fault_plan:
+        A :class:`repro.deploy.FaultPlan` consulted once per optimizer
+        step for ``preempt@step`` injection.  Defaults to the plan in the
+        ``REPRO_FAULTS`` environment knob (``None`` when unset).
     """
 
     def __init__(
@@ -89,6 +103,12 @@ class CSQTrainer:
         train_loader: DataLoader,
         test_loader: DataLoader,
         config: Optional[CSQConfig] = None,
+        *,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: int = 1,
+        resume: str = "auto",
+        keep: int = 3,
+        fault_plan=None,
     ) -> None:
         self.config = config or CSQConfig()
         self.model, self.state = convert_to_csq(
@@ -111,6 +131,18 @@ class CSQTrainer:
         self.history = TrainingHistory()
         self.finetune_history = TrainingHistory()
         self.frozen = False
+        self.global_step = 0
+        self.resume = resume
+        self.checkpointer = (
+            Checkpointer(checkpoint_dir, every=checkpoint_every, keep=keep)
+            if checkpoint_dir is not None
+            else None
+        )
+        if fault_plan is None:
+            from repro.deploy.faults import FaultPlan
+
+            fault_plan = FaultPlan.from_env()
+        self.fault_plan = fault_plan
 
     # ------------------------------------------------------------------
     # Optimizer construction
@@ -160,27 +192,51 @@ class CSQTrainer:
     # Training phases
     # ------------------------------------------------------------------
     def train(self) -> TrainingHistory:
-        """Run the CSQ phase (and the finetuning phase if configured)."""
-        self._run_csq_phase()
-        self.freeze()
-        if self.config.finetune_epochs > 0:
-            self._run_finetune_phase()
+        """Run the CSQ phase (and the finetuning phase if configured).
+
+        With checkpointing configured and ``resume="auto"``, training picks
+        up at the epoch after the newest valid checkpoint — inside either
+        phase — and the continued run is bitwise-identical to the
+        uninterrupted one.
+        """
+        resume_state = None
+        if self.checkpointer is not None and self.resume == "auto":
+            resume_state = self.checkpointer.resume()
+            if resume_state is not None:
+                self._restore(resume_state)
+        if resume_state is None or resume_state.phase == "csq":
+            self._run_csq_phase(resume_state)
+            self.freeze()
+            if self.config.finetune_epochs > 0:
+                self._run_finetune_phase(None)
+        else:
+            # Resuming mid-finetune: the CSQ phase (and its freeze) already
+            # happened; the restored gate state carries the hard mask.
+            self._run_finetune_phase(resume_state)
         return self.history
 
-    def _run_csq_phase(self) -> None:
+    def _run_csq_phase(self, resume_state: Optional[TrainState] = None) -> None:
         cfg = self.config
         schedule = ExponentialTemperatureSchedule(cfg.epochs, cfg.beta0, cfg.beta_max)
         optimizer = self._build_optimizer(include_mask=cfg.trainable_mask)
         lr_schedule = WarmupCosine(optimizer, total_epochs=cfg.epochs, warmup_epochs=cfg.warmup_epochs)
+        start_epoch = 0
+        if resume_state is not None:
+            start_epoch = resume_state.epoch + 1
+            if resume_state.optimizer_state is not None:
+                optimizer.load_state_dict(resume_state.optimizer_state)
+            if resume_state.scheduler_state is not None:
+                lr_schedule.load_state_dict(resume_state.scheduler_state)
 
-        for epoch in range(cfg.epochs):
+        for epoch in range(start_epoch, cfg.epochs):
             self.state.set_temperature(schedule.value(epoch))
             train_metrics = self._train_one_epoch(optimizer)
             test_metrics = evaluate(self.model, self.test_loader)
             self._record_epoch(self.history, train_metrics, test_metrics)
             lr_schedule.step()
+            self._maybe_checkpoint("csq", epoch, optimizer, lr_schedule)
 
-    def _run_finetune_phase(self) -> None:
+    def _run_finetune_phase(self, resume_state: Optional[TrainState] = None) -> None:
         """Mixed-precision finetuning with the bit selection fixed (Algorithm 1)."""
         cfg = self.config
         self.state.freeze_mask_only()
@@ -188,8 +244,15 @@ class CSQTrainer:
         schedule = ExponentialTemperatureSchedule(cfg.finetune_epochs, cfg.beta0, cfg.beta_max)
         optimizer = self._build_optimizer(include_mask=False)
         lr_schedule = WarmupCosine(optimizer, total_epochs=cfg.finetune_epochs, warmup_epochs=0)
+        start_epoch = 0
+        if resume_state is not None:
+            start_epoch = resume_state.epoch + 1
+            if resume_state.optimizer_state is not None:
+                optimizer.load_state_dict(resume_state.optimizer_state)
+            if resume_state.scheduler_state is not None:
+                lr_schedule.load_state_dict(resume_state.scheduler_state)
 
-        for epoch in range(cfg.finetune_epochs):
+        for epoch in range(start_epoch, cfg.finetune_epochs):
             self.state.set_temperature(schedule.value(epoch))
             # The mask stays hard regardless of the temperature.
             self.state.hard_mask = True
@@ -197,6 +260,7 @@ class CSQTrainer:
             test_metrics = evaluate(self.model, self.test_loader)
             self._record_epoch(self.finetune_history, train_metrics, test_metrics)
             lr_schedule.step()
+            self._maybe_checkpoint("finetune", epoch, optimizer, lr_schedule)
         self.freeze()
 
     def _train_one_epoch(self, optimizer: SGD, use_regularizer: bool = True) -> Dict[str, float]:
@@ -204,6 +268,12 @@ class CSQTrainer:
         losses: List[float] = []
         accuracies: List[float] = []
         for images, labels in iter_batches(self.train_loader, prefetch=True):
+            if self.fault_plan is not None and self.fault_plan.take_preempt(self.global_step):
+                from repro.deploy.faults import InjectedPreemption
+
+                raise InjectedPreemption(
+                    f"injected preemption at training step {self.global_step}"
+                )
             logits = self.model(Tensor(images))
             loss = F.cross_entropy(logits, labels)
             if use_regularizer and self.regularizer is not None:
@@ -212,9 +282,63 @@ class CSQTrainer:
             optimizer.zero_grad()
             loss.backward()
             optimizer.step()
+            self.global_step += 1
             losses.append(float(loss.data))
             accuracies.append(F.accuracy(logits, labels))
         return {"loss": float(np.mean(losses)), "accuracy": float(np.mean(accuracies))}
+
+    # ------------------------------------------------------------------
+    # Crash-safe checkpointing
+    # ------------------------------------------------------------------
+    def _maybe_checkpoint(self, phase: str, epoch: int, optimizer: SGD, scheduler) -> None:
+        if self.checkpointer is None:
+            return
+        self.checkpointer.maybe_save(
+            self._checkpoint_state(phase, epoch, optimizer, scheduler),
+            epoch_in_phase=epoch,
+        )
+
+    def _checkpoint_state(self, phase: str, epoch: int, optimizer: SGD, scheduler) -> TrainState:
+        return TrainState(
+            model_state=self.model.state_dict(),
+            phase=phase,
+            epoch=epoch,
+            step=self.global_step,
+            optimizer_state=optimizer.state_dict(),
+            scheduler_state=scheduler.state_dict(),
+            history=self.history,
+            finetune_history=self.finetune_history,
+            csq={
+                "beta": self.state.beta,
+                "beta_mask": self.state.beta_mask,
+                "hard_values": self.state.hard_values,
+                "hard_mask": self.state.hard_mask,
+                "frozen": self.frozen,
+                # Diagnostic only (recomputed each batch): the budget-aware
+                # regularizer strength lambda * dS at checkpoint time.
+                "delta_s": (
+                    self.regularizer.delta_s(self.model) if self.regularizer is not None else None
+                ),
+            },
+            rng=capture_rng(train_loader=self.train_loader, model=self.model),
+        )
+
+    def _restore(self, state: TrainState) -> None:
+        """Load everything phase-independent from a checkpoint."""
+        self.model.load_state_dict(state.model_state)
+        if state.history is not None:
+            self.history = state.history
+        if state.finetune_history is not None:
+            self.finetune_history = state.finetune_history
+        self.global_step = state.step
+        csq = state.csq
+        if csq:
+            self.state.beta = float(csq.get("beta", self.state.beta))
+            self.state.beta_mask = float(csq.get("beta_mask", self.state.beta_mask))
+            self.state.hard_values = bool(csq.get("hard_values", False))
+            self.state.hard_mask = bool(csq.get("hard_mask", False))
+            self.frozen = bool(csq.get("frozen", False))
+        restore_rng(state.rng, train_loader=self.train_loader, model=self.model)
 
     def _record_epoch(
         self,

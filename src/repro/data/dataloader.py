@@ -124,6 +124,24 @@ class DataLoader:
             return n // self.batch_size
         return (n + self.batch_size - 1) // self.batch_size
 
+    # ------------------------------------------------------------------
+    # RNG state (training checkpoints)
+    # ------------------------------------------------------------------
+    def rng_state(self) -> dict:
+        """Snapshot of the shuffle generator (JSON-serializable).
+
+        Captured by training checkpoints so a resumed run draws the exact
+        permutations the uninterrupted run would have drawn for the
+        remaining epochs.  The dict is NumPy's ``bit_generator.state``
+        (plain ints and strings — PCG64's 128-bit counters serialize fine
+        through Python's arbitrary-precision JSON ints).
+        """
+        return self._rng.bit_generator.state
+
+    def set_rng_state(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`rng_state`."""
+        self._rng.bit_generator.state = state
+
     def _batches(self) -> Iterator[Tuple[np.ndarray, ...]]:
         n = len(self.dataset)
         order = self._rng.permutation(n) if self.shuffle else np.arange(n)

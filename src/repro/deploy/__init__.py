@@ -33,6 +33,7 @@ from repro.deploy.faults import (
     FaultPlan,
     InjectedFault,
     InjectedPoison,
+    InjectedPreemption,
     InjectedWorkerCrash,
 )
 from repro.deploy.plan import (
@@ -71,6 +72,7 @@ __all__ = [
     "FaultPlan",
     "InjectedFault",
     "InjectedPoison",
+    "InjectedPreemption",
     "InjectedWorkerCrash",
     "InferenceSession",
     "Server",

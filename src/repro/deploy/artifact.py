@@ -28,7 +28,6 @@ from __future__ import annotations
 import io
 import json
 import os
-import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -42,6 +41,7 @@ from repro.models.registry import create_model, has_model
 from repro.nn.module import Module
 from repro.quant.functional import dequantize_codes
 from repro.quant.scheme import QuantizationScheme
+from repro.utils.integrity import atomic_write_bytes, checksum_blobs, corrupt_blobs
 from repro.deploy.packing import PackedCodes, pack_codes, unpack_codes
 
 #: Version written by :func:`save_artifact`.  History:
@@ -67,11 +67,6 @@ class ArtifactError(ValueError):
 
 class ArtifactCorrupt(ArtifactError):
     """Raised when a stored blob fails its manifest CRC32 integrity check."""
-
-
-def _blob_crc32(array: np.ndarray) -> int:
-    """CRC32 of a stored member's raw bytes (what the manifest records)."""
-    return zlib.crc32(np.ascontiguousarray(array).tobytes()) & 0xFFFFFFFF
 
 
 @dataclass
@@ -308,8 +303,9 @@ def save_artifact(
         # itself: unlike the zip container's per-member CRCs this detects a
         # member swapped between (otherwise valid) archives, and it survives
         # repacking.  An additive key — version-1/2 readers ignore it, and
-        # load_artifact treats its absence as "legacy, unverified".
-        "checksums": {name: _blob_crc32(array) for name, array in arrays.items()},
+        # load_artifact treats its absence as "legacy, unverified".  The
+        # scheme is shared with training checkpoints (repro.utils.integrity).
+        "checksums": checksum_blobs(arrays),
     }
     arrays[_MANIFEST_KEY] = np.frombuffer(
         json.dumps(manifest, sort_keys=True).encode("utf-8"), dtype=np.uint8
@@ -317,11 +313,12 @@ def save_artifact(
 
     # np.savez writes an uncompressed zip: the file size reflects the true
     # packed payload (plus zip/npy headers), not a codec's opinion of it.
+    # The write is atomic (temp file → fsync → replace) so a crash mid-save
+    # never leaves a torn artifact behind.
     buffer = io.BytesIO()
     np.savez(buffer, **arrays)
     payload = buffer.getvalue()
-    with open(path, "wb") as handle:
-        handle.write(payload)
+    atomic_write_bytes(path, payload)
 
     return Artifact(
         manifest=manifest,
@@ -358,12 +355,7 @@ def load_artifact(path: str) -> Artifact:
                     path=path,
                 )
         else:
-            corrupt: List[str] = []
-            for name in sorted(checksums):
-                if name not in archive:
-                    corrupt.append(f"{name} (missing)")
-                elif _blob_crc32(archive[name]) != int(checksums[name]):
-                    corrupt.append(name)
+            corrupt = corrupt_blobs(archive, checksums)
             if corrupt:
                 raise ArtifactCorrupt(
                     f"Artifact {path} failed its integrity check: stored "

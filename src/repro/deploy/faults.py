@@ -1,4 +1,5 @@
-"""Deterministic fault injection for the serving tier (``REPRO_FAULTS``).
+"""Deterministic fault injection for the serving and training tiers
+(``REPRO_FAULTS``).
 
 A :class:`FaultPlan` is a seeded, fully reproducible schedule of failures
 the :class:`~repro.deploy.server.Server` consults while serving: worker
@@ -10,6 +11,14 @@ reach compute).  Every failure path of the resilience layer — restart,
 retry, quarantine, shed, deadline expiry — can therefore be exercised by
 tests and by ``scripts/loadgen.py --chaos`` with the same failures at the
 same requests on every run.
+
+The training tier consumes the same plan with its own index space: for
+``preempt`` faults the index is the 0-based *global optimizer step*, and
+the consumer is the checkpointing training loop
+(:mod:`repro.training.checkpoint`), which dies with
+:class:`InjectedPreemption` at the matched step — the seeded stand-in for
+a spot-instance preemption or an OOM kill that the resume machinery and
+``scripts/train_resume_smoke.py`` recover from.
 
 The plan is either built programmatically (chained registration methods)
 or parsed from the ``REPRO_FAULTS`` environment knob, which the server
@@ -26,6 +35,7 @@ or ``seed=N``.  Kinds:
 | ``slow@i:MS`` | the batch containing request ``i`` sleeps ``MS`` milliseconds before executing (default 25) |
 | ``poison@i[:TIMES]`` | executing any batch containing request ``i`` raises ``InjectedPoison``; default ``TIMES=-1`` (every attempt — the request ends quarantined), ``TIMES=1`` fails only the first attempt (the solo retry succeeds) |
 | ``flip@i[:BIT]`` | one bit of request ``i``'s payload is flipped at admission (default: a seeded mantissa bit, so the corrupted value stays finite) |
+| ``preempt@s`` | the training process dies (``InjectedPreemption``) before executing global optimizer step ``s``; consumed by the training loops, ignored by the server |
 
 Like telemetry, fault injection is **zero-cost when off**: with
 ``REPRO_FAULTS`` unset and no plan passed, the server holds ``None`` and
@@ -63,6 +73,16 @@ class InjectedPoison(InjectedFault):
     """Fails the batch execution containing the matched request."""
 
 
+class InjectedPreemption(InjectedFault):
+    """Kills a training run before the matched global optimizer step.
+
+    Raised by the checkpointing training loops when the plan marks the
+    step; deliberately *not* caught by them, so the process dies exactly
+    as a real preemption would — between a completed step and the next
+    checkpoint.
+    """
+
+
 class FaultPlan:
     """A seeded, thread-safe schedule of injected failures.
 
@@ -84,7 +104,10 @@ class FaultPlan:
         self._slow: Dict[int, Tuple[float, int]] = {}
         self._poison: Dict[int, int] = {}
         self._flip: Dict[int, int] = {}
-        self._injected: Dict[str, int] = {"crash": 0, "slow": 0, "poison": 0, "flip": 0}
+        self._preempt: Dict[int, int] = {}
+        self._injected: Dict[str, int] = {
+            "crash": 0, "slow": 0, "poison": 0, "flip": 0, "preempt": 0,
+        }
 
     # ------------------------------------------------------------------
     # Registration (chainable)
@@ -127,6 +150,20 @@ class FaultPlan:
                 self._flip[int(index)] = chosen
         return self
 
+    def preempt_at(self, *steps: int, times: int = 1) -> "FaultPlan":
+        """Kill the training process before these global optimizer steps.
+
+        Indices here are training-step indices, not admission indices; the
+        consuming hook is :meth:`take_preempt`, called by the checkpointing
+        training loops once per step.  One-shot by default so that a
+        resumed run that replays the same step numbers is not killed
+        again when the plan object is reused in process.
+        """
+        with self._lock:
+            for step in steps:
+                self._preempt[int(step)] = int(times)
+        return self
+
     # ------------------------------------------------------------------
     # Consumption (called by the server)
     # ------------------------------------------------------------------
@@ -150,6 +187,14 @@ class FaultPlan:
         with self._lock:
             if self._take(self._crash, index):
                 self._injected["crash"] += 1
+                return True
+            return False
+
+    def take_preempt(self, step: int) -> bool:
+        """Whether the training process should die before global ``step``."""
+        with self._lock:
+            if self._take(self._preempt, step):
+                self._injected["preempt"] += 1
                 return True
             return False
 
@@ -212,6 +257,7 @@ class FaultPlan:
             parts += [f"slow@{i}:{ms:g}" for i, (ms, _) in sorted(self._slow.items())]
             parts += [f"poison@{i}" for i in sorted(self._poison)]
             parts += [f"flip@{i}:{b}" for i, b in sorted(self._flip.items())]
+            parts += [f"preempt@{i}" for i in sorted(self._preempt)]
         return f"FaultPlan({';'.join(parts)})"
 
     # ------------------------------------------------------------------
@@ -235,7 +281,7 @@ class FaultPlan:
             if "@" not in token:
                 raise ValueError(
                     f"REPRO_FAULTS: token {token!r} is not 'kind@index[:param]' "
-                    f"(kinds: crash, slow, poison, flip) or 'seed=N'"
+                    f"(kinds: crash, slow, poison, flip, preempt) or 'seed=N'"
                 )
             kind, _, rest = token.partition("@")
             target, _, param = rest.partition(":")
@@ -271,10 +317,18 @@ class FaultPlan:
                     except ValueError as error:
                         raise ValueError(f"REPRO_FAULTS: bad bit in {token!r}") from error
                 plan.flip_at(*indices, bit=bit)
+            elif kind == "preempt":
+                times = 1
+                if param:
+                    try:
+                        times = int(param)
+                    except ValueError as error:
+                        raise ValueError(f"REPRO_FAULTS: bad times in {token!r}") from error
+                plan.preempt_at(*indices, times=times)
             else:
                 raise ValueError(
                     f"REPRO_FAULTS: unknown fault kind {kind!r} in {token!r} "
-                    f"(kinds: crash, slow, poison, flip)"
+                    f"(kinds: crash, slow, poison, flip, preempt)"
                 )
         return plan
 

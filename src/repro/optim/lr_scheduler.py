@@ -30,6 +30,27 @@ class LRScheduler:
         for group, lr in zip(self.optimizer.param_groups, self.get_lr()):
             group["lr"] = lr
 
+    def state_dict(self) -> dict:
+        """Resume state: the epoch counter plus the captured base LRs.
+
+        Schedule *shape* (step size, horizon, warmup) is construction-time
+        configuration and is not serialized — a resumed run rebuilds the
+        scheduler with the same arguments and restores only the counters.
+        """
+        return {"last_epoch": self.last_epoch, "base_lrs": list(self.base_lrs)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the epoch counter and re-apply the current epoch's LR.
+
+        ``get_lr`` is re-evaluated at the restored epoch so the optimizer
+        groups carry exactly the LR an uninterrupted run would have at this
+        point (no extra ``step()`` is consumed).
+        """
+        self.base_lrs = [float(lr) for lr in state["base_lrs"]]
+        self.last_epoch = int(state["last_epoch"])
+        for group, lr in zip(self.optimizer.param_groups, self.get_lr()):
+            group["lr"] = lr
+
     @property
     def current_lr(self) -> float:
         return self.optimizer.param_groups[0]["lr"]

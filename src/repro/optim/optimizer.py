@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Union
 
+import numpy as np
+
 from repro.nn.parameter import Parameter
 
 ParamsLike = Union[Iterable[Parameter], Iterable[Dict]]
@@ -47,6 +49,81 @@ class Optimizer:
 
     def step(self) -> None:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def _flat_params(self) -> List[Parameter]:
+        """Every managed parameter, in deterministic group order."""
+        return [param for group in self.param_groups for param in group["params"]]
+
+    def state_dict(self) -> Dict:
+        """Serializable snapshot of per-parameter state and group settings.
+
+        Parameters are referenced by their *position* across all groups
+        (PyTorch's convention) — ``self.state`` is keyed by ``id(param)``,
+        which is meaningless across processes.  Array-valued state (SGD
+        momentum buffers, Adam moments) is copied; scalar state (Adam step
+        counts) passes through.  Group entries carry every hyperparameter
+        except the parameter objects themselves.
+        """
+        params = self._flat_params()
+        index_of = {id(param): i for i, param in enumerate(params)}
+        state: Dict[int, Dict] = {}
+        for param_id, entry in self.state.items():
+            index = index_of.get(param_id)
+            if index is None:
+                continue
+            state[index] = {
+                key: value.copy() if isinstance(value, np.ndarray) else value
+                for key, value in entry.items()
+            }
+        groups: List[Dict] = []
+        start = 0
+        for group in self.param_groups:
+            count = len(group["params"])
+            entry = {key: value for key, value in group.items() if key != "params"}
+            entry["params"] = list(range(start, start + count))
+            groups.append(entry)
+            start += count
+        return {"state": state, "param_groups": groups}
+
+    def load_state_dict(self, state_dict: Dict) -> None:
+        """Restore state saved by :meth:`state_dict` onto the current params.
+
+        The optimizer must have been constructed with the same group
+        structure (same number of groups, same parameter count per group,
+        in the same order) — the state is re-keyed positionally onto the
+        live parameters, so a resumed run continues bit-identically
+        (momentum mid-stream, Adam step counts, per-group LR overrides).
+        """
+        saved_groups = state_dict["param_groups"]
+        if len(saved_groups) != len(self.param_groups):
+            raise ValueError(
+                f"loaded state has {len(saved_groups)} param groups, "
+                f"optimizer has {len(self.param_groups)}"
+            )
+        for saved, group in zip(saved_groups, self.param_groups):
+            if len(saved["params"]) != len(group["params"]):
+                raise ValueError(
+                    f"param group size mismatch: checkpoint "
+                    f"{len(saved['params'])} vs optimizer {len(group['params'])}"
+                )
+            for key, value in saved.items():
+                if key == "params":
+                    continue
+                # JSON round trips turn tuples (Adam betas) into lists.
+                if isinstance(group.get(key), tuple):
+                    value = tuple(value)
+                group[key] = value
+        params = self._flat_params()
+        self.state = {}
+        for index, entry in state_dict["state"].items():
+            param = params[int(index)]
+            self.state[id(param)] = {
+                key: np.array(value, copy=True) if isinstance(value, np.ndarray) else value
+                for key, value in entry.items()
+            }
 
     @property
     def lr(self) -> float:

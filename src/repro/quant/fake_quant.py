@@ -15,6 +15,8 @@ from repro.autograd import ops
 from repro.autograd.tensor import Tensor
 from repro.quant.observers import MovingAverageMinMaxObserver
 
+__all__ = ["WeightFakeQuantize", "FakeQuantize"]
+
 
 class WeightFakeQuantize(nn.Module):
     """Symmetric per-tensor weight fake-quantizer with STE gradients.
@@ -56,7 +58,16 @@ class FakeQuantize(nn.Module):
         if bits < 1:
             raise ValueError(f"bits must be >= 1, got {bits}")
         self.bits = bits
-        self.observer = MovingAverageMinMaxObserver(momentum=momentum)
+        # The observer's running range lives in a registered buffer
+        # ([min, max, observed], float64) so it rides in state_dict() and a
+        # resumed run replays the exact moving averages (crash-safe
+        # training needs the activation grid to continue bit-identically).
+        self.register_buffer(
+            "observer_state", Tensor(np.zeros(3, dtype=np.float64))
+        )
+        self.observer = MovingAverageMinMaxObserver(
+            momentum=momentum, backing=self.observer_state
+        )
 
     def forward(self, x: Tensor) -> Tensor:
         if self.bits >= 32:

@@ -5,6 +5,24 @@ from __future__ import annotations
 import numpy as np
 
 
+class _ObserverState:
+    """Default in-memory backing for an observer's ``(min, max, observed)``.
+
+    Observers store their running range in a 3-slot float64 array exposed
+    through an object with a ``.data`` attribute.  Modules that own an
+    observer (:class:`~repro.quant.fake_quant.FakeQuantize`) pass a
+    registered buffer tensor as the backing instead, which makes the
+    observed range part of ``state_dict()`` — without it, a resumed
+    training run would restart activation ranges from scratch and diverge
+    from the uninterrupted run.
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self) -> None:
+        self.data = np.zeros(3, dtype=np.float64)
+
+
 class MinMaxObserver:
     """Track the running min/max of everything observed."""
 
@@ -28,15 +46,48 @@ class MinMaxObserver:
 
 
 class MovingAverageMinMaxObserver:
-    """Exponential-moving-average min/max observer (smoother than raw min/max)."""
+    """Exponential-moving-average min/max observer (smoother than raw min/max).
 
-    def __init__(self, momentum: float = 0.9) -> None:
+    ``backing`` is an optional external store for the running state — any
+    object with a ``.data`` ndarray of at least 3 float slots
+    ``[min, max, observed]``.  Passing a module buffer tensor here makes
+    the observer's moving averages checkpointable through the ordinary
+    ``state_dict`` machinery; the observer always reads through the
+    backing object, so a ``load_state_dict`` that swaps the underlying
+    array is picked up immediately.
+    """
+
+    def __init__(self, momentum: float = 0.9, backing=None) -> None:
         if not 0.0 <= momentum < 1.0:
             raise ValueError(f"momentum must be in [0, 1), got {momentum}")
         self.momentum = momentum
-        self.min_val = 0.0
-        self.max_val = 0.0
-        self.observed = False
+        self._backing = backing if backing is not None else _ObserverState()
+
+    # State lives behind properties so the arithmetic below stays plain
+    # float64 Python math, bit-identical to the pre-backing implementation.
+    @property
+    def min_val(self) -> float:
+        return float(self._backing.data[0])
+
+    @min_val.setter
+    def min_val(self, value: float) -> None:
+        self._backing.data[0] = value
+
+    @property
+    def max_val(self) -> float:
+        return float(self._backing.data[1])
+
+    @max_val.setter
+    def max_val(self, value: float) -> None:
+        self._backing.data[1] = value
+
+    @property
+    def observed(self) -> bool:
+        return bool(self._backing.data[2] != 0.0)
+
+    @observed.setter
+    def observed(self, value: bool) -> None:
+        self._backing.data[2] = 1.0 if value else 0.0
 
     def observe(self, values: np.ndarray) -> None:
         if values.size == 0:

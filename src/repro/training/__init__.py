@@ -1,6 +1,34 @@
-"""Generic training/evaluation loops and the experiment runner shared by benches."""
+"""Generic training/evaluation loops, crash-safe checkpoints, experiment runner."""
 
 from repro.training.loop import TrainingHistory, train_epoch, evaluate, fit
+from repro.training.checkpoint import (
+    CheckpointCorrupt,
+    CheckpointError,
+    Checkpointer,
+    TrainState,
+    capture_rng,
+    latest_valid_checkpoint,
+    list_checkpoints,
+    load_checkpoint,
+    restore_rng,
+    save_checkpoint,
+)
 from repro.training.experiment import ExperimentResult
 
-__all__ = ["TrainingHistory", "train_epoch", "evaluate", "fit", "ExperimentResult"]
+__all__ = [
+    "TrainingHistory",
+    "train_epoch",
+    "evaluate",
+    "fit",
+    "ExperimentResult",
+    "TrainState",
+    "Checkpointer",
+    "CheckpointError",
+    "CheckpointCorrupt",
+    "save_checkpoint",
+    "load_checkpoint",
+    "list_checkpoints",
+    "latest_valid_checkpoint",
+    "capture_rng",
+    "restore_rng",
+]

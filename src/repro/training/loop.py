@@ -66,6 +66,8 @@ def train_epoch(
     loss_fn: Optional[Callable[[Tensor, np.ndarray], Tensor]] = None,
     extra_loss: Optional[Callable[[], Tensor]] = None,
     prefetch: bool = True,
+    fault_plan=None,
+    global_step: int = 0,
 ) -> Dict[str, float]:
     """Run one epoch of SGD; returns mean loss and accuracy over the epoch.
 
@@ -81,6 +83,13 @@ def train_epoch(
     (``REPRO_TELEMETRY=1``) step times additionally stream into the
     ``train.step_time_s`` histogram and one ``train_epoch`` NDJSON record
     is emitted per epoch.
+
+    ``fault_plan`` (a :class:`repro.deploy.FaultPlan`) is consulted once
+    per optimizer step with the global step index ``global_step + steps``;
+    a matching ``preempt`` entry raises
+    :class:`~repro.deploy.faults.InjectedPreemption`, which is deliberately
+    *not* caught here — the process dies exactly as a real preemption
+    would, between a completed step and the next checkpoint.
     """
     if loss_fn is None:
         loss_fn = F.cross_entropy
@@ -91,6 +100,12 @@ def train_epoch(
     images_seen = 0
     epoch_started = time.perf_counter()
     for images, labels in iter_batches(loader, prefetch):
+        if fault_plan is not None and fault_plan.take_preempt(global_step + len(step_times)):
+            from repro.deploy.faults import InjectedPreemption
+
+            raise InjectedPreemption(
+                f"injected preemption at training step {global_step + len(step_times)}"
+            )
         step_started = time.perf_counter()
         logits = model(Tensor(images))
         loss = loss_fn(logits, labels)
@@ -156,15 +171,65 @@ def fit(
     scheduler: Optional[LRScheduler] = None,
     extra_loss: Optional[Callable[[], Tensor]] = None,
     on_epoch_end: Optional[Callable[[int, TrainingHistory], None]] = None,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: int = 1,
+    resume: str = "auto",
+    keep: int = 3,
+    fault_plan=None,
 ) -> TrainingHistory:
     """Standard training loop: ``epochs`` epochs of SGD with optional scheduler.
 
     ``on_epoch_end(epoch, history)`` is called after each epoch — the BSQ
     baseline uses it for its periodic precision adjustment.
+
+    With ``checkpoint_dir`` set, a crash-safe checkpoint is written after
+    every ``checkpoint_every``-th epoch (keeping the ``keep`` newest) that
+    captures model, optimizer, scheduler, history, and RNG streams; with
+    ``resume="auto"`` (the default) the newest *valid* checkpoint in the
+    directory is restored before training — torn or corrupt files are
+    skipped with a telemetry warning — so a killed run continues
+    bitwise-exactly where the uninterrupted run would have been.  Pass
+    ``resume="never"`` to ignore existing checkpoints.  ``fault_plan``
+    threads a seeded :class:`repro.deploy.FaultPlan` into the step loop
+    for ``preempt@step`` injection (when ``None``, the ``REPRO_FAULTS``
+    environment knob is consulted, matching the serving tier).
     """
+    from repro.deploy.faults import FaultPlan
+    from repro.training.checkpoint import Checkpointer, TrainState, capture_rng, restore_rng
+
+    if fault_plan is None:
+        fault_plan = FaultPlan.from_env()
+    checkpointer = (
+        Checkpointer(checkpoint_dir, every=checkpoint_every, keep=keep)
+        if checkpoint_dir is not None
+        else None
+    )
     history = TrainingHistory()
-    for epoch in range(epochs):
-        train_metrics = train_epoch(model, train_loader, optimizer, extra_loss=extra_loss)
+    start_epoch = 0
+    global_step = 0
+    if checkpointer is not None and resume == "auto":
+        state = checkpointer.resume()
+        if state is not None:
+            model.load_state_dict(state.model_state)
+            if state.optimizer_state is not None:
+                optimizer.load_state_dict(state.optimizer_state)
+            if scheduler is not None and state.scheduler_state is not None:
+                scheduler.load_state_dict(state.scheduler_state)
+            if state.history is not None:
+                history = state.history
+            restore_rng(state.rng, train_loader=train_loader, model=model)
+            start_epoch = state.epoch + 1
+            global_step = state.step
+    for epoch in range(start_epoch, epochs):
+        train_metrics = train_epoch(
+            model,
+            train_loader,
+            optimizer,
+            extra_loss=extra_loss,
+            fault_plan=fault_plan,
+            global_step=global_step,
+        )
+        global_step += int(train_metrics["steps"])
         test_metrics = evaluate(model, test_loader)
         history.train_loss.append(train_metrics["loss"])
         history.train_accuracy.append(train_metrics["accuracy"])
@@ -176,4 +241,18 @@ def fit(
             scheduler.step()
         if on_epoch_end is not None:
             on_epoch_end(epoch, history)
+        if checkpointer is not None:
+            checkpointer.maybe_save(
+                TrainState(
+                    model_state=model.state_dict(),
+                    phase="fit",
+                    epoch=epoch,
+                    step=global_step,
+                    optimizer_state=optimizer.state_dict(),
+                    scheduler_state=scheduler.state_dict() if scheduler is not None else None,
+                    history=history,
+                    rng=capture_rng(train_loader=train_loader, model=model),
+                ),
+                epoch_in_phase=epoch,
+            )
     return history

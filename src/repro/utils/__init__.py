@@ -1,7 +1,22 @@
-"""Shared utilities: seeding, lightweight logging, numeric helpers."""
+"""Shared utilities: seeding, logging, numeric helpers, blob integrity."""
 
 from repro.utils.seed import seed_everything
 from repro.utils.logging import get_logger
 from repro.utils.numeric import moving_average, topk_indices
+from repro.utils.integrity import (
+    atomic_write_bytes,
+    blob_crc32,
+    checksum_blobs,
+    corrupt_blobs,
+)
 
-__all__ = ["seed_everything", "get_logger", "moving_average", "topk_indices"]
+__all__ = [
+    "seed_everything",
+    "get_logger",
+    "moving_average",
+    "topk_indices",
+    "atomic_write_bytes",
+    "blob_crc32",
+    "checksum_blobs",
+    "corrupt_blobs",
+]

@@ -1,0 +1,90 @@
+"""Shared blob-integrity and atomic-write helpers.
+
+Both durable file formats in this repo — deployment artifacts
+(:mod:`repro.deploy.artifact`) and training checkpoints
+(:mod:`repro.training.checkpoint`) — are single ``.npz`` archives whose
+manifest records a CRC32 per stored member.  Unlike the zip container's
+own per-member CRCs, manifest-bound checksums detect a member swapped
+between otherwise-valid archives and survive repacking.  This module is
+the one place that scheme lives; the two formats differ only in which
+typed exception they raise on a mismatch (``ArtifactCorrupt`` vs.
+``CheckpointCorrupt``).
+
+:func:`atomic_write_bytes` is the torn-write guard: the payload lands in
+a same-directory temporary file, is fsynced, and is renamed over the
+destination with ``os.replace`` — so a crash at any instant leaves either
+the complete old file or the complete new file, never a prefix.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import zlib
+from typing import Dict, List, Mapping
+
+import numpy as np
+
+
+def blob_crc32(array: np.ndarray) -> int:
+    """CRC32 of a stored member's raw bytes (what a manifest records)."""
+    return zlib.crc32(np.ascontiguousarray(array).tobytes()) & 0xFFFFFFFF
+
+
+def checksum_blobs(arrays: Mapping[str, np.ndarray]) -> Dict[str, int]:
+    """Manifest ``checksums`` block: name → CRC32 for every member."""
+    return {name: blob_crc32(array) for name, array in arrays.items()}
+
+
+def corrupt_blobs(archive, checksums: Mapping[str, int]) -> List[str]:
+    """Names of members that are missing or fail their recorded CRC32.
+
+    ``archive`` is anything indexable by member name supporting ``in``
+    (an open ``numpy.lib.npyio.NpzFile`` or a plain dict of arrays).
+    Missing members are reported as ``"{name} (missing)"``; the caller
+    raises its format's typed corruption error when the list is
+    non-empty.
+    """
+    corrupt: List[str] = []
+    for name in sorted(checksums):
+        if name not in archive:
+            corrupt.append(f"{name} (missing)")
+        elif blob_crc32(archive[name]) != int(checksums[name]):
+            corrupt.append(name)
+    return corrupt
+
+
+def atomic_write_bytes(path: str, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` atomically (temp file → fsync → replace).
+
+    The temporary file is created in the destination directory so the
+    final ``os.replace`` is a same-filesystem rename (atomic on POSIX).
+    After the rename the directory is fsynced too, where the platform
+    allows it, so the new directory entry itself is durable.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    descriptor, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".tmp.", dir=directory
+    )
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)

@@ -1,0 +1,98 @@
+"""Module.state_dict coverage for everything a CSQ checkpoint must carry.
+
+Mid-CSQ-training, the state dict must round-trip BatchNorm running
+statistics, the CSQ gate/bit parameters, and the activation-observer
+moving averages: loading a snapshot into a *differently initialized*
+model of the same architecture must reproduce the source model's outputs
+bitwise.  Pinned on resnet20 and vgg11_bn, the two families the paper
+evaluates on CIFAR.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.csq import CSQConfig, CSQTrainer
+from repro.data import DataLoader
+from repro.data.synthetic import SyntheticConfig, SyntheticImageClassification
+from repro.models import resnet20, vgg11_bn
+from repro.utils import seed_everything
+
+ARCHS = {
+    "resnet20": (lambda: resnet20(num_classes=3, width_mult=0.25), 8),
+    "vgg11_bn": (lambda: vgg11_bn(num_classes=3, width_mult=0.125), 32),
+}
+
+
+def make_trainer(arch, seed):
+    model_fn, image_size = ARCHS[arch]
+    config = SyntheticConfig(
+        num_classes=3, image_size=image_size, train_size=32, test_size=16,
+        modes_per_class=1, noise=0.4, seed=11,
+    )
+    train_loader = DataLoader(
+        SyntheticImageClassification(config, train=True),
+        batch_size=16, shuffle=True, seed=0,
+    )
+    test_loader = DataLoader(SyntheticImageClassification(config, train=False), batch_size=16)
+    seed_everything(seed)
+    trainer = CSQTrainer(
+        model_fn(), train_loader, test_loader,
+        CSQConfig(epochs=1, lr=0.05, num_bits=4, act_bits=4, target_bits=2.5),
+    )
+    return trainer
+
+
+def eval_batch(image_size):
+    rng = np.random.default_rng(42)
+    return rng.standard_normal((4, 3, image_size, image_size)).astype(np.float32)
+
+
+@pytest.mark.parametrize("arch", sorted(ARCHS))
+class TestMidTrainingStateDictParity:
+    def test_state_dict_names_the_checkpoint_critical_buffers(self, arch):
+        trainer = make_trainer(arch, seed=0)
+        keys = trainer.model.state_dict().keys()
+        assert any("running_mean" in k for k in keys), "BN running stats missing"
+        assert any("running_var" in k for k in keys), "BN running stats missing"
+        assert any(k.endswith("observer_state") for k in keys), "observer state missing"
+        assert any(k.endswith(".m_b") for k in keys), "CSQ bit masks missing"
+        assert any(k.endswith(".m_p") for k in keys), "CSQ bit representations missing"
+        assert any(k.endswith(".scale") for k in keys), "CSQ scales missing"
+
+    def test_round_trip_into_fresh_model_is_bitwise(self, arch):
+        source = make_trainer(arch, seed=0)
+        source.train()  # one mid-CSQ epoch: BN stats, observers, gates all move
+        snapshot = source.model.state_dict()
+
+        target = make_trainer(arch, seed=1)  # different init on purpose
+        target.model.load_state_dict(snapshot)
+        # The shared gate state lives on the trainer, not in the state dict;
+        # a checkpoint restores it separately (TrainState.csq).
+        target.state.beta = source.state.beta
+        target.state.beta_mask = source.state.beta_mask
+        target.state.hard_values = source.state.hard_values
+        target.state.hard_mask = source.state.hard_mask
+
+        batch = Tensor(eval_batch(ARCHS[arch][1]))
+        source.model.eval()
+        target.model.eval()
+        expected = source.model(batch).data
+        loaded = target.model(batch).data
+        assert expected.tobytes() == loaded.tobytes()
+
+    def test_observer_moving_averages_round_trip(self, arch):
+        source = make_trainer(arch, seed=0)
+        source.train()
+        snapshot = source.model.state_dict()
+        observer_keys = [k for k in snapshot if k.endswith("observer_state")]
+        assert observer_keys
+        # The moving averages actually moved during training...
+        assert any(snapshot[k].any() for k in observer_keys)
+        # ...and land bit-exactly in a fresh model.
+        target = make_trainer(arch, seed=1)
+        target.model.load_state_dict(snapshot)
+        reloaded = target.model.state_dict()
+        for key in observer_keys:
+            assert reloaded[key].tobytes() == snapshot[key].tobytes()
+            assert reloaded[key].dtype == np.float64

@@ -1,0 +1,109 @@
+"""CSQTrainer crash/resume: kill at any injected step, continue bitwise.
+
+Checkpoints are written at epoch boundaries but capture every RNG stream,
+so a mid-epoch kill resumes from the last boundary and *replays* the
+interrupted epoch with identical batches and momentum — the final
+weights, histories, and quantization scheme match the uninterrupted run
+bit for bit, whether the kill lands in the CSQ phase or the finetuning
+phase.
+"""
+
+import numpy as np
+import pytest
+
+from repro.csq import CSQConfig, CSQTrainer
+from repro.data import DataLoader
+from repro.data.synthetic import SyntheticConfig, SyntheticImageClassification
+from repro.deploy.faults import FaultPlan, InjectedPreemption
+from repro.models import SimpleConvNet
+from repro.utils import seed_everything
+
+# 96 samples / batch 32 = 3 steps per epoch; 4 CSQ epochs (steps 0-11)
+# then 2 finetune epochs (steps 12-17).
+EPOCHS, FINETUNE_EPOCHS, STEPS_PER_EPOCH = 4, 2, 3
+
+
+def make_trainer(checkpoint_dir=None, fault_plan=None):
+    seed_everything(0)
+    config = SyntheticConfig(
+        num_classes=4, image_size=8, train_size=96, test_size=48,
+        modes_per_class=1, noise=0.5, seed=0,
+    )
+    train_loader = DataLoader(
+        SyntheticImageClassification(config, train=True),
+        batch_size=32, shuffle=True, seed=0,
+    )
+    test_loader = DataLoader(SyntheticImageClassification(config, train=False), batch_size=48)
+    model = SimpleConvNet(num_classes=4, width=8)
+    return CSQTrainer(
+        model, train_loader, test_loader,
+        CSQConfig(
+            epochs=EPOCHS, finetune_epochs=FINETUNE_EPOCHS,
+            lr=0.05, num_bits=6, target_bits=3.0,
+        ),
+        checkpoint_dir=checkpoint_dir, fault_plan=fault_plan,
+    )
+
+
+@pytest.fixture(scope="module")
+def reference():
+    trainer = make_trainer()
+    trainer.train()
+    return trainer
+
+
+def assert_matches_reference(trainer, reference):
+    reference_state = reference.model.state_dict()
+    resumed_state = trainer.model.state_dict()
+    assert sorted(resumed_state) == sorted(reference_state)
+    for name, value in reference_state.items():
+        assert resumed_state[name].tobytes() == value.tobytes(), name
+    assert trainer.history.train_loss == reference.history.train_loss
+    assert trainer.history.test_accuracy == reference.history.test_accuracy
+    assert trainer.history.extra["beta"] == reference.history.extra["beta"]
+    assert trainer.finetune_history.train_loss == reference.finetune_history.train_loss
+    assert trainer.global_step == reference.global_step
+    assert trainer.layer_precisions() == reference.layer_precisions()
+
+
+class TestCSQResume:
+    @pytest.mark.parametrize(
+        "kill_step",
+        [
+            4,   # mid-epoch, CSQ phase
+            2 * STEPS_PER_EPOCH,               # epoch boundary, CSQ phase
+            EPOCHS * STEPS_PER_EPOCH + 1,      # mid-epoch, finetune phase
+        ],
+    )
+    def test_kill_and_resume_is_bitwise_identical(self, tmp_path, reference, kill_step):
+        ckpt_dir = str(tmp_path / "ckpts")
+        killed = make_trainer(ckpt_dir, fault_plan=FaultPlan.parse(f"preempt@{kill_step}"))
+        with pytest.raises(InjectedPreemption):
+            killed.train()
+        assert killed.global_step == kill_step
+
+        resumed = make_trainer(ckpt_dir)
+        resumed.train()
+        assert_matches_reference(resumed, reference)
+
+    def test_kill_before_first_checkpoint_restarts_from_scratch(self, tmp_path, reference):
+        ckpt_dir = str(tmp_path / "ckpts")
+        killed = make_trainer(ckpt_dir, fault_plan=FaultPlan.parse("preempt@1"))
+        with pytest.raises(InjectedPreemption):
+            killed.train()
+        resumed = make_trainer(ckpt_dir)
+        resumed.train()
+        assert_matches_reference(resumed, reference)
+
+    def test_completed_run_resume_skips_training(self, tmp_path, reference):
+        ckpt_dir = str(tmp_path / "ckpts")
+        first = make_trainer(ckpt_dir)
+        first.train()
+        again = make_trainer(ckpt_dir)
+        again.train()
+        assert_matches_reference(again, reference)
+
+    def test_trainer_without_checkpoint_dir_matches_reference(self, reference):
+        plain = make_trainer()
+        plain.train()
+        assert_matches_reference(plain, reference)

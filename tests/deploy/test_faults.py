@@ -21,7 +21,9 @@ class TestParse:
         x = np.ones(4, dtype=np.float32)
         flipped = plan.apply_flip(x, 5)
         assert flipped is not x
-        assert plan.counts() == {"crash": 1, "slow": 1, "poison": 2, "flip": 1}
+        assert plan.counts() == {
+            "crash": 1, "slow": 1, "poison": 2, "flip": 1, "preempt": 0,
+        }
 
     def test_multi_index_targets(self):
         plan = FaultPlan.parse("crash@1+3")
@@ -96,4 +98,14 @@ class TestInjection:
         assert plan.take_slow([0, 1]) == 0.0
         plan.check_poison([0, 1])
         assert plan.apply_flip(x, 0) is x
-        assert plan.counts() == {"crash": 0, "slow": 0, "poison": 0, "flip": 0}
+        assert plan.counts() == {
+            "crash": 0, "slow": 0, "poison": 0, "flip": 0, "preempt": 0,
+        }
+
+    def test_preempt_is_one_shot_and_counted(self):
+        plan = FaultPlan.parse("preempt@37")
+        assert not plan.take_preempt(36)
+        assert plan.take_preempt(37)
+        assert plan.take_preempt(37) is False  # one-shot: resume survives
+        assert plan.counts()["preempt"] == 1
+        assert "preempt@37" in repr(plan)

@@ -1,0 +1,193 @@
+"""Optimizer/scheduler serialization: seeded round trips must continue bitwise.
+
+The crash-safe training checkpoints (``repro.training.checkpoint``) lean on
+``Optimizer.state_dict()`` / ``load_state_dict()`` and the LR-scheduler
+epoch counters; these tests pin the contract at the unit level — a fresh
+optimizer/scheduler that loads a snapshot and replays the same gradient
+stream produces bit-identical parameters to one that never stopped.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.nn.parameter import Parameter
+from repro.optim import SGD, Adam
+from repro.optim.lr_scheduler import (
+    ConstantLR,
+    CosineAnnealingLR,
+    LinearWarmup,
+    StepLR,
+    WarmupCosine,
+)
+
+
+def make_params(seed=0, shapes=((4, 3), (5,))):
+    rng = np.random.default_rng(seed)
+    return [Parameter(rng.standard_normal(s).astype(np.float32)) for s in shapes]
+
+
+def grad_stream(seed, params, steps):
+    """Deterministic per-step gradients matching each parameter's shape."""
+    rng = np.random.default_rng(seed)
+    return [
+        [rng.standard_normal(p.data.shape).astype(np.float32) for p in params]
+        for _ in range(steps)
+    ]
+
+
+def run_steps(optimizer, params, grads):
+    for step_grads in grads:
+        for param, grad in zip(params, step_grads):
+            param.grad = grad.copy()
+        optimizer.step()
+
+
+def continuation_is_bitwise(optimizer_factory):
+    """Core invariant: stop/snapshot/reload ≡ never stopping."""
+    # Uninterrupted run: 5 + 5 steps straight through.
+    params_a = make_params(seed=0)
+    opt_a = optimizer_factory(params_a)
+    stream = grad_stream(seed=7, params=params_a, steps=10)
+    run_steps(opt_a, params_a, stream)
+
+    # Interrupted run: 5 steps, snapshot, rebuild fresh, 5 more steps.
+    params_b = make_params(seed=0)
+    opt_b = optimizer_factory(params_b)
+    run_steps(opt_b, params_b, stream[:5])
+    snapshot = opt_b.state_dict()
+    frozen = [p.data.copy() for p in params_b]
+
+    params_c = [Parameter(v.copy()) for v in frozen]
+    opt_c = optimizer_factory(params_c)
+    opt_c.load_state_dict(snapshot)
+    run_steps(opt_c, params_c, stream[5:])
+
+    for a, c in zip(params_a, params_c):
+        assert a.data.tobytes() == c.data.tobytes()
+
+
+class TestSGDStateDict:
+    def test_momentum_continuation_is_bitwise(self):
+        continuation_is_bitwise(lambda p: SGD(p, lr=0.1, momentum=0.9, weight_decay=1e-4))
+
+    def test_plain_sgd_continuation_is_bitwise(self):
+        continuation_is_bitwise(lambda p: SGD(p, lr=0.1))
+
+    def test_state_is_keyed_positionally(self):
+        params = make_params()
+        opt = SGD(params, lr=0.1, momentum=0.9)
+        run_steps(opt, params, grad_stream(0, params, 2))
+        snapshot = opt.state_dict()
+        assert sorted(snapshot["state"]) == [0, 1]
+        buffer = snapshot["state"][0]["momentum_buffer"]
+        assert isinstance(buffer, np.ndarray)
+        # Snapshot holds copies: mutating it must not touch the live state.
+        buffer[:] = 0.0
+        assert opt.state[id(params[0])]["momentum_buffer"].any()
+
+    def test_group_hyperparams_round_trip(self):
+        p1, p2 = make_params()
+        opt = SGD(
+            [{"params": [p1], "lr": 0.5}, {"params": [p2], "weight_decay": 0.0}],
+            lr=0.1, momentum=0.9, weight_decay=1e-4,
+        )
+        snapshot = opt.state_dict()
+        fresh = SGD(
+            [{"params": [p1]}, {"params": [p2]}],
+            lr=0.9, momentum=0.0, weight_decay=0.0,
+        )
+        fresh.load_state_dict(snapshot)
+        assert fresh.param_groups[0]["lr"] == pytest.approx(0.5)
+        assert fresh.param_groups[0]["momentum"] == pytest.approx(0.9)
+        assert fresh.param_groups[1]["weight_decay"] == pytest.approx(0.0)
+
+    def test_group_structure_mismatch_raises(self):
+        params = make_params()
+        snapshot = SGD(params, lr=0.1).state_dict()
+        with pytest.raises(ValueError, match="param group"):
+            SGD([params[0]], lr=0.1).load_state_dict(snapshot)
+
+
+class TestAdamStateDict:
+    def test_moments_and_step_continuation_is_bitwise(self):
+        continuation_is_bitwise(lambda p: Adam(p, lr=1e-3, betas=(0.9, 0.999)))
+
+    def test_step_counts_survive(self):
+        params = make_params()
+        opt = Adam(params, lr=1e-3)
+        run_steps(opt, params, grad_stream(3, params, 4))
+        snapshot = opt.state_dict()
+        fresh = Adam([Parameter(p.data.copy()) for p in params], lr=1e-3)
+        fresh.load_state_dict(snapshot)
+        steps = [entry["step"] for entry in fresh.state.values()]
+        assert steps == [4, 4]
+
+    def test_betas_survive_json_round_trip_as_tuple(self):
+        params = make_params()
+        opt = Adam(params, lr=1e-3, betas=(0.8, 0.95))
+        snapshot = opt.state_dict()
+        # A checkpoint manifest stores param_groups as JSON: tuples -> lists.
+        snapshot["param_groups"] = json.loads(json.dumps(snapshot["param_groups"]))
+        fresh = Adam(params, lr=1e-3)
+        fresh.load_state_dict(snapshot)
+        assert fresh.param_groups[0]["betas"] == (0.8, 0.95)
+        assert isinstance(fresh.param_groups[0]["betas"], tuple)
+
+
+SCHEDULERS = [
+    ("constant", lambda opt: ConstantLR(opt)),
+    ("step", lambda opt: StepLR(opt, step_size=2, gamma=0.5)),
+    ("cosine", lambda opt: CosineAnnealingLR(opt, t_max=10)),
+    ("linear-warmup", lambda opt: LinearWarmup(opt, warmup_epochs=3)),
+    ("warmup-cosine", lambda opt: WarmupCosine(opt, total_epochs=10, warmup_epochs=2)),
+]
+
+
+class TestSchedulerStateDict:
+    @pytest.mark.parametrize("name,factory", SCHEDULERS, ids=[n for n, _ in SCHEDULERS])
+    def test_epoch_counter_round_trip_matches_uninterrupted(self, name, factory):
+        reference_opt = SGD(make_params(), lr=0.1)
+        reference = factory(reference_opt)
+        for _ in range(7):
+            reference.step()
+
+        stopped_opt = SGD(make_params(), lr=0.1)
+        stopped = factory(stopped_opt)
+        for _ in range(4):
+            stopped.step()
+        snapshot = stopped.state_dict()
+        assert snapshot["last_epoch"] == 4
+
+        resumed_opt = SGD(make_params(), lr=0.1)
+        resumed = factory(resumed_opt)
+        resumed.load_state_dict(snapshot)
+        assert resumed.current_lr == stopped.current_lr
+        for _ in range(3):
+            resumed.step()
+        assert resumed.last_epoch == reference.last_epoch
+        assert resumed.current_lr == reference.current_lr
+        assert [g["lr"] for g in resumed_opt.param_groups] == [
+            g["lr"] for g in reference_opt.param_groups
+        ]
+
+    def test_load_reapplies_lr_without_consuming_a_step(self):
+        opt = SGD(make_params(), lr=0.1)
+        scheduler = StepLR(opt, step_size=1, gamma=0.1)
+        for _ in range(2):
+            scheduler.step()
+        snapshot = scheduler.state_dict()
+        fresh_opt = SGD(make_params(), lr=0.1)
+        fresh = StepLR(fresh_opt, step_size=1, gamma=0.1)
+        fresh.load_state_dict(snapshot)
+        assert fresh.last_epoch == 2
+        assert fresh.current_lr == pytest.approx(0.1 * 0.1 ** 2)
+
+    def test_base_lrs_round_trip_per_group(self):
+        p1, p2 = make_params()
+        opt = SGD([{"params": [p1], "lr": 0.2}, {"params": [p2], "lr": 0.02}], lr=0.1)
+        scheduler = CosineAnnealingLR(opt, t_max=8)
+        scheduler.step()
+        snapshot = scheduler.state_dict()
+        assert snapshot["base_lrs"] == [0.2, 0.02]

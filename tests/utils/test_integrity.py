@@ -1,0 +1,81 @@
+"""Shared blob-integrity helpers: CRC32 manifests and atomic writes."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.utils.integrity import (
+    atomic_write_bytes,
+    blob_crc32,
+    checksum_blobs,
+    corrupt_blobs,
+)
+
+
+class TestBlobCrc32:
+    def test_depends_on_content_not_identity(self):
+        a = np.arange(16, dtype=np.float32)
+        assert blob_crc32(a) == blob_crc32(a.copy())
+        b = a.copy()
+        b[7] += 1.0
+        assert blob_crc32(a) != blob_crc32(b)
+
+    def test_non_contiguous_views_hash_like_their_copy(self):
+        base = np.arange(24, dtype=np.int32).reshape(4, 6)
+        view = base[:, ::2]
+        assert blob_crc32(view) == blob_crc32(view.copy())
+
+    def test_fits_unsigned_32_bits(self):
+        crc = blob_crc32(np.arange(100, dtype=np.uint8))
+        assert 0 <= crc <= 0xFFFFFFFF
+
+
+class TestChecksumAndVerify:
+    def setup_method(self):
+        self.arrays = {
+            "w": np.arange(8, dtype=np.float32),
+            "codes": np.array([1, 2, 3], dtype=np.uint8),
+        }
+        self.checksums = checksum_blobs(self.arrays)
+
+    def test_checksums_cover_every_member(self):
+        assert sorted(self.checksums) == ["codes", "w"]
+
+    def test_clean_archive_verifies(self):
+        assert corrupt_blobs(self.arrays, self.checksums) == []
+
+    def test_bit_flip_is_reported_by_name(self):
+        tampered = {name: arr.copy() for name, arr in self.arrays.items()}
+        tampered["w"][3] += 1.0
+        assert corrupt_blobs(tampered, self.checksums) == ["w"]
+
+    def test_missing_member_is_reported(self):
+        partial = {"w": self.arrays["w"]}
+        assert corrupt_blobs(partial, self.checksums) == ["codes (missing)"]
+
+
+class TestAtomicWriteBytes:
+    def test_writes_payload(self, tmp_path):
+        path = str(tmp_path / "blob.bin")
+        atomic_write_bytes(path, b"hello")
+        with open(path, "rb") as handle:
+            assert handle.read() == b"hello"
+
+    def test_replaces_existing_file(self, tmp_path):
+        path = str(tmp_path / "blob.bin")
+        atomic_write_bytes(path, b"old")
+        atomic_write_bytes(path, b"new")
+        with open(path, "rb") as handle:
+            assert handle.read() == b"new"
+
+    def test_leaves_no_temp_files_behind(self, tmp_path):
+        path = str(tmp_path / "blob.bin")
+        atomic_write_bytes(path, b"payload")
+        assert os.listdir(tmp_path) == ["blob.bin"]
+
+    def test_missing_directory_raises_and_creates_nothing(self, tmp_path):
+        path = str(tmp_path / "nope" / "blob.bin")
+        with pytest.raises(OSError):
+            atomic_write_bytes(path, b"payload")
+        assert not os.path.exists(path)
