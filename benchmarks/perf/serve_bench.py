@@ -13,6 +13,9 @@ Two suites:
   ``act{4,8}_*`` cases run the same geometry with quantized activations
   (the paper's A-Bits column served on the integer grid);
   ``session_resnet20_batched`` is the ``act_bits=32`` member of that family.
+  The ``*_mobilenet_batched`` pair covers the depthwise/grouped-conv hot
+  path (MobileNet-style blocks compile to the per-group GEMM kernel)
+  against the same materialized-float eval reference.
 * ``serve`` — the threaded :class:`~repro.deploy.server.Server`: single-stream
   request latency and multi-client micro-batched throughput, plus
   ``*_act{4,8}`` variants of the concurrent burst over integer-activation
@@ -89,6 +92,43 @@ def _frozen_artifact_setup(cfg, keep_csq_model: bool = False, act_bits: int = 32
     return session, reference, images
 
 
+def _mobilenet_artifact_setup(cfg):
+    """Frozen CSQ ``mobilenet_tiny`` and its artifact — the grouped-conv case.
+
+    Depthwise convolutions compile to the per-group GEMM kernel
+    (:class:`~repro.deploy.plan.GroupedGemmKernel`), a different hot path
+    than the dense resnet20 geometry; the eval reference is the
+    materialized float model like ``eval_stack_resnet20_batched``.
+    """
+    from repro.csq.convert import materialize_quantized
+    from repro.deploy import InferenceSession, save_artifact
+    from repro.deploy.testing import frozen_mixed_model
+    from repro.utils import seed_everything
+
+    seed_everything(0)
+    kwargs = {"num_classes": 10, "in_channels": 3}
+    model = frozen_mixed_model(
+        "mobilenet_tiny", precisions=(2, 3, 4, 5), randomize_bn=False, **kwargs
+    )
+
+    tmpdir = tempfile.mkdtemp(prefix="repro_serve_bench_")
+    try:
+        path = os.path.join(tmpdir, "mobilenet_tiny.npz")
+        save_artifact(model, path, arch="mobilenet_tiny", arch_kwargs=kwargs)
+        session = InferenceSession(path)
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+    reference = materialize_quantized(model)
+    reference.eval()
+
+    rng = np.random.default_rng(0)
+    images = rng.standard_normal(
+        (cfg["batch"], 3, cfg["image"], cfg["image"])
+    ).astype(np.float32)
+    return session, reference, images
+
+
 @register_suite("infer")
 def build_infer_suite(scale: str) -> List[BenchCase]:
     if scale not in _INFER_SCALES:
@@ -143,6 +183,21 @@ def build_infer_suite(scale: str) -> List[BenchCase]:
     def csq_eval_fn(step):
         return step()
 
+    def mobilenet_session_setup():
+        session, _, images = _mobilenet_artifact_setup(cfg)
+        return session, images
+
+    def mobilenet_eval_setup():
+        from repro.autograd.tensor import Tensor, no_grad
+
+        _, float_model, images = _mobilenet_artifact_setup(cfg)
+
+        def step():
+            with no_grad():
+                return float_model(Tensor(images)).data
+
+        return step
+
     images_per_call = float(cfg["batch"])
     return [
         BenchCase("session_resnet20_batched", session_setup, session_fn,
@@ -152,6 +207,10 @@ def build_infer_suite(scale: str) -> List[BenchCase]:
         BenchCase("eval_stack_resnet20_batched", eval_stack_setup, eval_stack_fn,
                   images_per_call, "image"),
         BenchCase("eval_stack_csq_frozen", csq_eval_setup, csq_eval_fn,
+                  images_per_call, "image"),
+        BenchCase("session_mobilenet_batched", mobilenet_session_setup, session_fn,
+                  images_per_call, "image"),
+        BenchCase("eval_stack_mobilenet_batched", mobilenet_eval_setup, eval_stack_fn,
                   images_per_call, "image"),
     ]
 

@@ -8,8 +8,10 @@ executed by the :class:`InferenceSession`, and served through the threaded
 materialized float model's eval path.  A second, activation-quantized
 (``act_bits=4``) resnet20 exercises the integer-activation plan: it must
 serve *without* the ``float_activations`` escape hatch and match the frozen
-CSQ training-graph eval within quantization tolerance.  Exits non-zero on
-any mismatch.
+CSQ training-graph eval within quantization tolerance.  A registry-driven
+scheme sweep additionally exports and serves one artifact per quantization
+scheme (``KNOWN_SCHEMES``: CSQ plus every baseline quantizer) with
+served-vs-session parity.  Exits non-zero on any mismatch.
 """
 
 from __future__ import annotations
@@ -36,7 +38,8 @@ from repro.deploy import (  # noqa: E402
     load_artifact,
     save_artifact,
 )
-from repro.deploy.testing import frozen_mixed_model  # noqa: E402
+from repro.deploy import KNOWN_SCHEMES  # noqa: E402
+from repro.deploy.testing import frozen_mixed_model, frozen_scheme_model  # noqa: E402
 from repro.utils import seed_everything  # noqa: E402
 
 
@@ -152,6 +155,46 @@ def chaos_deterministic_leg(session: InferenceSession) -> str:
     return ""
 
 
+def scheme_matrix_leg() -> str:
+    """Registry-driven scheme sweep: one artifact per quantization scheme.
+
+    Every scheme id the deploy registry knows (``KNOWN_SCHEMES``) freezes a
+    deterministic ``simple_convnet``, exports, reloads, and serves through
+    the threaded :class:`Server`; the manifest must record the scheme, the
+    session must match the frozen eval graph within 1e-5, and served logits
+    must match the session.  Returns an error string, or "" on success.
+    """
+    kwargs = {"num_classes": 10, "width": 4}
+    shape = (4, 3, 10, 10)
+    rng = np.random.default_rng(4)
+    images = rng.standard_normal(shape).astype(np.float32)
+    with tempfile.TemporaryDirectory(prefix="repro_serve_smoke_schemes_") as tmp:
+        for scheme in KNOWN_SCHEMES:
+            model = frozen_scheme_model(
+                scheme, "simple_convnet", seed=5, calibration_shape=shape, **kwargs
+            )
+            with no_grad():
+                reference = model(Tensor(images)).data
+            path = os.path.join(tmp, f"{scheme}.npz")
+            save_artifact(model, path, arch="simple_convnet", arch_kwargs=kwargs)
+            session = InferenceSession(load_artifact(path))
+            if session.scheme_id != scheme:
+                return (
+                    f"scheme leg: {scheme} artifact loaded with "
+                    f"scheme_id={session.scheme_id!r}"
+                )
+            session_logits = session.run(images)
+            err = float(np.abs(session_logits - reference).max())
+            if err > 1e-5:
+                return f"scheme leg: {scheme} session vs eval graph differ by {err:.2e}"
+            with Server(session, max_batch=4, max_wait_ms=1.0) as server:
+                served = np.stack(server.predict_many(list(images)))
+            err = float(np.abs(served - session_logits).max())
+            if err > 1e-6:
+                return f"scheme leg: {scheme} served logits differ from session by {err:.2e}"
+    return ""
+
+
 def main() -> int:
     seed_everything(0)
     kwargs = {"num_classes": 10, "width_mult": 0.2}
@@ -204,6 +247,12 @@ def main() -> int:
             if failure:
                 print(f"serve smoke FAILED: {failure}")
                 return 1
+
+    # --- cross-scheme leg: every registered quantizer serves ------------
+    failure = scheme_matrix_leg()
+    if failure:
+        print(f"serve smoke FAILED: {failure}")
+        return 1
 
     # --- integer-activation leg: act_bits=4 resnet20 -------------------
     act_model = frozen_mixed_model(
@@ -304,7 +353,8 @@ def main() -> int:
         f"{int(stats['served'])} requests in {int(stats['batches'])} batches "
         f"(mean batch {stats['mean_batch_size']:.1f}); act4 trace: "
         f"{len(step_spans)} plan.step spans across {len(batch_spans)} batches, "
-        f"kernels {'/'.join(sorted(span_tags))}; chaos: crash recovered "
+        f"kernels {'/'.join(sorted(span_tags))}; schemes: "
+        f"{len(KNOWN_SCHEMES)} quantizers served; chaos: crash recovered "
         f"bitwise, poison quarantined, 5 shed / 3 expired exactly"
     )
     return 0

@@ -750,6 +750,7 @@ def conv2d(
     bias: Optional[ArrayLike] = None,
     stride: int = 1,
     padding: int = 0,
+    groups: int = 1,
 ) -> Tensor:
     """2-D cross-correlation over an NCHW batch.
 
@@ -758,11 +759,16 @@ def conv2d(
     x:
         Input tensor of shape ``(N, C_in, H, W)``.
     weight:
-        Filter tensor of shape ``(C_out, C_in, kH, kW)``.
+        Filter tensor of shape ``(C_out, C_in // groups, kH, kW)``.
     bias:
         Optional per-output-channel bias of shape ``(C_out,)``.
     stride, padding:
         Integer stride and symmetric zero padding.
+    groups:
+        Channel groups; ``groups == C_in`` is a depthwise convolution.  Both
+        channel counts must divide evenly.  The grouped path reuses the same
+        im2col gather: channel rows are outermost in the column matrix, so
+        each group is a contiguous row-block GEMM against its weight slice.
     """
     x = ensure_tensor(x)
     weight = ensure_tensor(weight)
@@ -770,20 +776,40 @@ def conv2d(
 
     batch, in_channels, height, width = x.shape
     out_channels, w_in_channels, kernel_h, kernel_w = weight.shape
-    if in_channels != w_in_channels:
+    if groups < 1:
+        raise ValueError(f"conv2d groups must be >= 1, got {groups}")
+    if in_channels % groups or out_channels % groups:
         raise ValueError(
-            f"conv2d channel mismatch: input has {in_channels}, weight expects {w_in_channels}"
+            f"conv2d groups={groups} must divide in_channels={in_channels} "
+            f"and out_channels={out_channels}"
+        )
+    if in_channels // groups != w_in_channels:
+        raise ValueError(
+            f"conv2d channel mismatch: input has {in_channels} channels in "
+            f"{groups} group(s), weight expects {w_in_channels} per group"
         )
     out_h = (height + 2 * padding - kernel_h) // stride + 1
     out_w = (width + 2 * padding - kernel_w) // stride + 1
+    cin_g = in_channels // groups
+    cout_g = out_channels // groups
+    rows_g = cin_g * kernel_h * kernel_w
 
     arena = default_arena()
     cols = im2col(x.data, kernel_h, kernel_w, stride, padding, arena)
-    w_mat = weight.data.reshape(out_channels, -1)
     gemm_out = np.empty(
-        (out_channels, cols.shape[1]), dtype=np.result_type(w_mat.dtype, cols.dtype)
+        (out_channels, cols.shape[1]),
+        dtype=np.result_type(weight.data.dtype, cols.dtype),
     )
-    parallel_gemm(w_mat, cols, out=gemm_out)
+    if groups == 1:
+        parallel_gemm(weight.data.reshape(out_channels, -1), cols, out=gemm_out)
+    else:
+        for g in range(groups):
+            w_mat = weight.data[g * cout_g:(g + 1) * cout_g].reshape(cout_g, -1)
+            parallel_gemm(
+                w_mat,
+                cols[g * rows_g:(g + 1) * rows_g],
+                out=gemm_out[g * cout_g:(g + 1) * cout_g],
+            )
     out = gemm_out.reshape(out_channels, batch, out_h, out_w).transpose(1, 0, 2, 3)
     if bias_t is not None:
         out = out + bias_t.data.reshape(1, out_channels, 1, 1)
@@ -804,17 +830,43 @@ def conv2d(
             grad.transpose(1, 0, 2, 3),
         )
         grad_weight = np.empty(
-            (out_channels, cols.shape[0]), dtype=np.result_type(grad_flat.dtype, cols.dtype)
+            (out_channels, rows_g), dtype=np.result_type(grad_flat.dtype, cols.dtype)
         )
         # Row sharding keeps each weight-gradient element one full-length
         # reduction, preserving bitwise determinism across thread counts.
-        parallel_gemm(grad_flat, cols.T, out=grad_weight, shard="rows")
+        if groups == 1:
+            parallel_gemm(grad_flat, cols.T, out=grad_weight, shard="rows")
+        else:
+            for g in range(groups):
+                parallel_gemm(
+                    grad_flat[g * cout_g:(g + 1) * cout_g],
+                    cols[g * rows_g:(g + 1) * rows_g].T,
+                    out=grad_weight[g * cout_g:(g + 1) * cout_g],
+                    shard="rows",
+                )
         grad_weight = grad_weight.reshape(weight.shape)
         arena.release(cols)
         cols = None  # the columns are dead; a second backward call is a bug
-        grad_x = conv2d_backward_data(
-            grad, weight.data, x.shape, stride, padding, arena, grad_flat=grad_flat
-        )
+        if groups == 1:
+            grad_x = conv2d_backward_data(
+                grad, weight.data, x.shape, stride, padding, arena, grad_flat=grad_flat
+            )
+        else:
+            # Each group is an independent small convolution: run backward-data
+            # per group over the channel slices and reassemble along channels.
+            grad_x = np.empty(x.shape, dtype=grad.dtype)
+            group_shape = (batch, cin_g, height, width)
+            for g in range(groups):
+                out_sl = slice(g * cout_g, (g + 1) * cout_g)
+                grad_x[:, g * cin_g:(g + 1) * cin_g] = conv2d_backward_data(
+                    grad[:, out_sl],
+                    weight.data[out_sl],
+                    group_shape,
+                    stride,
+                    padding,
+                    arena,
+                    grad_flat=grad_flat[out_sl],
+                )
         arena.release(grad_flat)
         if bias_t is None:
             return grad_x, grad_weight

@@ -132,11 +132,15 @@ class BSQConv2d(_BSQLayerBase):
         self.kernel_size = conv.kernel_size
         self.stride = conv.stride
         self.padding = conv.padding
+        self.groups = getattr(conv, "groups", 1)
 
     def forward(self, x: Tensor) -> Tensor:
         x = self.act_quant(x)
         weight = self.quantized_weight()
-        return F.conv2d(x, weight, self.bias, stride=self.stride, padding=self.padding)
+        return F.conv2d(
+            x, weight, self.bias,
+            stride=self.stride, padding=self.padding, groups=self.groups,
+        )
 
 
 class BSQLinear(_BSQLayerBase):

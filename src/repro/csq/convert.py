@@ -155,12 +155,17 @@ class QuantizedLayerExport:
     config: Dict[str, int]
     act_mode: str = "observer"  #: ``"observer"`` or ``"pact"``
     act_range: Optional[float] = None  #: frozen clip range; None when float
+    scheme: str = "csq"  #: quantization scheme id that produced the codes
+    #: Dequantization spec for non-symmetric schemes (see
+    #: :func:`repro.quant.functional.dequantize_with_spec`); ``None`` keeps
+    #: the symmetric linear contract.
+    dequant: Optional[Dict[str, object]] = None
 
     @property
     def dequantized_weight(self) -> np.ndarray:
-        from repro.quant.functional import dequantize_codes
+        from repro.quant.functional import dequantize_with_spec
 
-        return dequantize_codes(self.q, self.scale, self.num_bits)
+        return dequantize_with_spec(self.q, self.scale, self.num_bits, self.dequant)
 
 
 def export_quantized_layers(model: Module) -> List[QuantizedLayerExport]:
@@ -183,6 +188,7 @@ def export_quantized_layers(model: Module) -> List[QuantizedLayerExport]:
                 "kernel_size": layer.kernel_size,
                 "stride": layer.stride,
                 "padding": layer.padding,
+                "groups": layer.groups,
             }
         elif isinstance(layer, CSQLinear):
             kind = "linear"
@@ -241,6 +247,7 @@ def materialize_quantized(model: Module) -> Module:
                     stride=child.stride,
                     padding=child.padding,
                     bias=child.bias is not None,
+                    groups=child.groups,
                 )
                 conv.weight.data = _frozen_weight(child)
                 if child.bias is not None:

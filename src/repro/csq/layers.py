@@ -95,8 +95,9 @@ class CSQConv2d(_CSQLayerBase):
         gate_init: float = 1.0,
         mask_init: float = 0.1,
         act_mode: str = "observer",
+        groups: int = 1,
     ) -> None:
-        expected = (out_channels, in_channels, kernel_size, kernel_size)
+        expected = (out_channels, in_channels // groups, kernel_size, kernel_size)
         if tuple(weight.shape) != expected:
             raise ValueError(f"weight shape {weight.shape} does not match {expected}")
         super().__init__(
@@ -108,6 +109,7 @@ class CSQConv2d(_CSQLayerBase):
         self.kernel_size = kernel_size
         self.stride = stride
         self.padding = padding
+        self.groups = groups
 
     @classmethod
     def from_float(
@@ -138,12 +140,16 @@ class CSQConv2d(_CSQLayerBase):
             gate_init=gate_init,
             mask_init=mask_init,
             act_mode=act_mode,
+            groups=conv.groups,
         )
 
     def forward(self, x: Tensor) -> Tensor:
         x = self.act_quant(x)
         weight = self.quantized_weight()
-        return F.conv2d(x, weight, self.bias, stride=self.stride, padding=self.padding)
+        return F.conv2d(
+            x, weight, self.bias,
+            stride=self.stride, padding=self.padding, groups=self.groups,
+        )
 
 
 class CSQLinear(_CSQLayerBase):

@@ -21,11 +21,18 @@ See DEPLOYMENT.md for the format specification and design notes.
 """
 
 from repro.deploy.packing import PackedCodes, pack_codes, unpack_codes
+from repro.deploy.export import (
+    KNOWN_SCHEMES,
+    convert_to_ptq,
+    detect_scheme,
+    export_model_layers,
+)
 from repro.deploy.artifact import (
     Artifact,
     ArtifactCorrupt,
     ArtifactError,
     QuantizedTensorRecord,
+    UnknownSchemeError,
     load_artifact,
     save_artifact,
 )
@@ -62,6 +69,11 @@ __all__ = [
     "ArtifactCorrupt",
     "ArtifactError",
     "QuantizedTensorRecord",
+    "UnknownSchemeError",
+    "KNOWN_SCHEMES",
+    "convert_to_ptq",
+    "detect_scheme",
+    "export_model_layers",
     "save_artifact",
     "load_artifact",
     "ActQuantSpec",

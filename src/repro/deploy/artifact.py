@@ -1,12 +1,12 @@
 """Packed mixed-precision model artifacts (save/load).
 
-An artifact is one ``.npz`` file holding a frozen CSQ model in deployable
-form:
+An artifact is one ``.npz`` file holding a frozen quantized model (CSQ or
+any baseline scheme — see :mod:`repro.deploy.export`) in deployable form:
 
 * ``manifest`` — a JSON document (stored as a uint8 array) with the format
   version, the framework version, the architecture registry id and kwargs,
-  the per-layer precision map, and the decode parameters of every packed
-  tensor;
+  the quantization scheme id, the per-layer precision map and dequant
+  specs, and the decode parameters of every packed tensor;
 * ``q::{layer}`` — bit-packed integer weight codes at the layer's *learned*
   precision (see :mod:`repro.deploy.packing`): a 3-bit layer costs ~3 bits
   per element on disk instead of 32;
@@ -35,11 +35,11 @@ import numpy as np
 
 import repro
 from repro import obs
-from repro.csq.convert import export_quantized_layers
 from repro.csq.precision import scheme_from_precision_map
+from repro.deploy.export import KNOWN_SCHEMES, export_model_layers
 from repro.models.registry import create_model, has_model
 from repro.nn.module import Module
-from repro.quant.functional import dequantize_codes
+from repro.quant.functional import dequantize_with_spec
 from repro.quant.scheme import QuantizationScheme
 from repro.utils.integrity import atomic_write_bytes, checksum_blobs, corrupt_blobs
 from repro.deploy.packing import PackedCodes, pack_codes, unpack_codes
@@ -50,11 +50,16 @@ from repro.deploy.packing import PackedCodes, pack_codes, unpack_codes
 #:   the runtime executed activations in float32),
 #: * **2** — adds per-layer frozen activation-quantization parameters
 #:   (``act_mode``, ``act_range``) so the runtime can serve ``act_bits < 32``
-#:   models on the integer activation grid they trained with.
-FORMAT_VERSION = 2
+#:   models on the integer activation grid they trained with,
+#: * **3** — adds the manifest ``scheme`` id and per-layer ``dequant`` specs
+#:   so non-CSQ quantizers (DoReFa's affine grid, LQ-Nets' palette, the STE
+#:   baselines, BSQ, mixed-precision PTQ) serve with the dequantization
+#:   semantics they trained with.
+FORMAT_VERSION = 3
 #: Versions :func:`load_artifact` accepts.  Version-1 artifacts carry no
-#: activation ranges and load with float activation semantics.
-SUPPORTED_VERSIONS = (1, 2)
+#: activation ranges and load with float activation semantics; version-2
+#: artifacts carry no scheme id and load as CSQ (symmetric dequantization).
+SUPPORTED_VERSIONS = (1, 2, 3)
 _MANIFEST_KEY = "manifest"
 _FLOATS_KEY = "floats"
 _CODES_PREFIX = "q::"
@@ -67,6 +72,14 @@ class ArtifactError(ValueError):
 
 class ArtifactCorrupt(ArtifactError):
     """Raised when a stored blob fails its manifest CRC32 integrity check."""
+
+
+class UnknownSchemeError(ArtifactError):
+    """Raised when an artifact names a quantization scheme this build lacks.
+
+    The message names the offending scheme id so operators can tell a
+    version skew (artifact from a newer build) from a corrupt manifest.
+    """
 
 
 @dataclass
@@ -91,15 +104,30 @@ class QuantizedTensorRecord:
     #: (``repro.runtime.intgemm.bitplanes_from_payload``) without a
     #: pack → unpack → repack round trip.  ``None`` for in-memory records.
     packed: Optional[PackedCodes] = None
+    scheme: str = "csq"  #: quantization scheme id that produced the codes
+    #: Dequantization spec for non-symmetric schemes (see
+    #: :func:`repro.quant.functional.dequantize_with_spec`); ``None`` keeps
+    #: the symmetric linear contract.
+    dequant: Optional[Dict[str, object]] = None
+
+    @property
+    def dequant_kind(self) -> str:
+        """``"symmetric"``, ``"affine"`` or ``"palette"``."""
+        return str((self.dequant or {}).get("kind", "symmetric"))
 
     @property
     def dequant_factor(self) -> float:
-        """Scalar mapping codes to float weights: ``w = q * dequant_factor``."""
+        """Scalar mapping codes to float weights: ``w = q * dequant_factor``.
+
+        Only meaningful for symmetric-dequant records — the plan compiler
+        folds this factor into the output affine, which an affine offset or
+        a palette table cannot express.
+        """
         return self.scale / float(2 ** self.num_bits - 1)
 
     @property
     def dequantized_weight(self) -> np.ndarray:
-        return dequantize_codes(self.q, self.scale, self.num_bits)
+        return dequantize_with_spec(self.q, self.scale, self.num_bits, self.dequant)
 
 
 @dataclass
@@ -125,6 +153,15 @@ class Artifact:
     @property
     def precision_map(self) -> Dict[str, int]:
         return {name: rec.precision for name, rec in self.quantized.items()}
+
+    @property
+    def scheme_id(self) -> str:
+        """Quantization scheme the codes were frozen from (``"csq"``, ...).
+
+        Pre-version-3 artifacts carry no scheme field and are CSQ by
+        construction — that was the only scheme the exporter knew.
+        """
+        return str(self.manifest.get("scheme", "csq"))
 
     def scheme(self) -> QuantizationScheme:
         """Size accounting of the stored scheme (the paper's Comp(×) rows)."""
@@ -190,15 +227,17 @@ def save_artifact(
     arch: str,
     arch_kwargs: Optional[Dict[str, object]] = None,
     metadata: Optional[Dict[str, object]] = None,
+    scheme: Optional[str] = None,
 ) -> Artifact:
-    """Serialize a frozen CSQ model to a single packed ``.npz`` artifact.
+    """Serialize a frozen quantized model to a single packed ``.npz`` artifact.
 
     Parameters
     ----------
     model:
-        A model converted with ``convert_to_csq`` (typically after
-        ``freeze_model``; extraction uses hard gates either way, so the
-        stored codes always equal the frozen fixed-point weights).
+        A quantized model: CSQ (``convert_to_csq``, typically after
+        ``freeze_model``; extraction uses hard gates either way), BSQ
+        (``convert_to_bsq``), a QAT model (``convert_to_qat`` with any
+        method) or a mixed-precision PTQ model (``convert_to_ptq``).
     path:
         Output file path (conventionally ``*.npz``).
     arch:
@@ -209,13 +248,16 @@ def save_artifact(
         ``width_mult``, ...).  Must reproduce the exact layer shapes.
     metadata:
         Optional free-form JSON-serializable dict stored in the manifest.
+    scheme:
+        Quantization scheme id to export as; ``None`` auto-detects from the
+        model's wrapper family (see :func:`repro.deploy.export.detect_scheme`).
 
     Returns the in-memory :class:`Artifact` (with ``file_bytes`` filled in).
     """
     arch_kwargs = dict(arch_kwargs or {})
     if not has_model(arch):
         raise ArtifactError(f"Unknown architecture id {arch!r}; register it before saving")
-    exports = export_quantized_layers(model)
+    scheme_id, exports = export_model_layers(model, scheme)
     quantized_names = {e.name for e in exports}
 
     arrays: Dict[str, np.ndarray] = {}
@@ -241,6 +283,7 @@ def save_artifact(
                 "config": export.config,
                 "has_bias": export.bias is not None,
                 "pack": {"bits": packed.bits, "offset": packed.offset, "count": packed.count},
+                "dequant": export.dequant,
             }
         )
         records[export.name] = QuantizedTensorRecord(
@@ -258,22 +301,22 @@ def save_artifact(
             act_mode=export.act_mode,
             act_range=None if export.act_range is None else float(export.act_range),
             packed=packed,
+            scheme=scheme_id,
+            dequant=export.dequant,
         )
 
-    # Everything that is not CSQ bit-level state rides along as dense float:
+    # Everything that is not quantizer state rides along as dense float:
     # BatchNorm affine parameters and running statistics, plus any stray
     # parameters of unconverted layers.  All of it is concatenated into one
-    # blob; the manifest records each tensor's name/shape/offset.
+    # blob; the manifest records each tensor's name/shape/offset.  Any state
+    # living *under* a quantized layer (CSQ gates and bit planes, QAT
+    # wrapper children, activation-observer statistics) is already frozen
+    # into the exported codes/ranges and is skipped wholesale.
     floats: Dict[str, np.ndarray] = {}
     float_index: List[Dict[str, object]] = []
-    csq_param_suffixes = ("scale", "m_p", "m_n", "m_b", "bias")
     offset = 0
     for name, value in model.state_dict().items():
-        owner, _, leaf = name.rpartition(".")
-        if owner in quantized_names and leaf in csq_param_suffixes:
-            continue
-        # Activation-quantizer observer state lives under the CSQ layer too.
-        if any(owner == f"{q}.act_quant" or owner.startswith(f"{q}.act_quant.") for q in quantized_names):
+        if any(name == q or name.startswith(f"{q}.") for q in quantized_names):
             continue
         tensor = np.asarray(value, dtype=np.float32)
         floats[name] = tensor
@@ -294,6 +337,7 @@ def save_artifact(
         "framework_version": repro.__version__,
         "arch": arch,
         "arch_kwargs": arch_kwargs,
+        "scheme": scheme_id,
         "layers": layer_entries,
         "float_tensors": float_index,
         "average_precision": scheme.average_precision,
@@ -342,6 +386,13 @@ def load_artifact(path: str) -> Artifact:
             raise ArtifactError(
                 f"Artifact format version {version!r} is not supported "
                 f"(this build reads versions {SUPPORTED_VERSIONS})"
+            )
+        # Pre-version-3 artifacts carry no scheme id; they were always CSQ.
+        scheme_id = str(manifest.get("scheme", "csq"))
+        if scheme_id not in KNOWN_SCHEMES:
+            raise UnknownSchemeError(
+                f"Artifact {path} uses unknown quantization scheme "
+                f"{scheme_id!r}; this build serves {KNOWN_SCHEMES}"
             )
         checksums = manifest.get("checksums")
         if checksums is None:
@@ -392,6 +443,8 @@ def load_artifact(path: str) -> Artifact:
                 act_mode=str(entry.get("act_mode", "observer")),
                 act_range=None if act_range is None else float(act_range),
                 packed=packed,
+                scheme=scheme_id,
+                dequant=entry.get("dequant"),
             )
         blob = archive[_FLOATS_KEY] if _FLOATS_KEY in archive else np.zeros(0, dtype=np.float32)
         floats = {}

@@ -1,0 +1,373 @@
+"""Scheme-aware export: freezing any trained quantizer into artifact records.
+
+:func:`repro.deploy.save_artifact` historically understood only CSQ models.
+This module is the bridge for every quantization scheme the repository
+trains — it maps a trained model to the flat
+:class:`~repro.csq.convert.QuantizedLayerExport` records the artifact format
+serializes, regardless of which wrapper family produced the weights:
+
+* ``csq`` — :class:`~repro.csq.layers._CSQLayerBase` layers (frozen gates),
+* ``bsq`` — :class:`~repro.baselines.bsq._BSQLayerBase` layers (STE bit
+  planes with the pruned bit mask applied),
+* ``uniform_qat`` — ``QConv2d``/``QLinear`` wrappers with
+  :class:`~repro.quant.fake_quant.WeightFakeQuantize` (the STE/PACT rows),
+* ``dorefa`` — the same wrappers with the DoReFa tanh-normalized grid
+  (affine dequantization: code 0 maps to ``-max_abs``),
+* ``lqnets`` — the same wrappers with LQ-Nets' learned levels (palette
+  dequantization: codes index the sorted level table),
+* ``haq_like`` / ``hawq`` — mixed-precision PTQ assignments applied with
+  :func:`convert_to_ptq` (per-layer symmetric fake-quant wrappers).
+
+Every exporter replays its scheme's *evaluation* forward operation for
+operation on plain NumPy, so the stored codes always reproduce the frozen
+eval graph exactly (symmetric/palette schemes) or to float-rounding error
+(DoReFa's affine re-association).
+
+This module must not import :mod:`repro.deploy.artifact` — the artifact
+module imports it to resolve schemes at save/load time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import nn
+from repro.baselines.bsq import _BSQLayerBase, BSQConv2d, BSQLinear
+from repro.csq.convert import QuantizedLayerExport, export_quantized_layers
+from repro.csq.layers import _CSQLayerBase
+from repro.nn.module import Module
+from repro.quant.act_quant import RANGE_FLOOR, ActivationQuantizer
+from repro.quant.dorefa import DoReFaWeightQuantizer
+from repro.quant.fake_quant import FakeQuantize, WeightFakeQuantize
+from repro.quant.lqnets import LQNetsWeightQuantizer
+from repro.quant.pact import PACTActivationQuantizer
+from repro.quant.qconv import QConv2d
+from repro.quant.qlinear import QLinear
+
+#: Scheme ids the artifact format records and the loader accepts.
+KNOWN_SCHEMES = ("csq", "bsq", "uniform_qat", "dorefa", "lqnets", "haq_like", "hawq")
+
+
+# ---------------------------------------------------------------------------
+# Scheme detection
+# ---------------------------------------------------------------------------
+
+
+def detect_scheme(model: Module) -> str:
+    """Infer the quantization scheme a trained model carries.
+
+    PTQ models tagged by :func:`convert_to_ptq` win; otherwise the layer
+    wrapper family (CSQ, BSQ, QAT) decides, with the QAT weight-quantizer
+    type distinguishing ``uniform_qat``/``dorefa``/``lqnets``.
+    """
+    tagged = getattr(model, "_ptq_scheme", None)
+    if tagged is not None:
+        return str(tagged)
+    for _, module in model.named_modules():
+        if isinstance(module, _CSQLayerBase):
+            return "csq"
+        if isinstance(module, _BSQLayerBase):
+            return "bsq"
+        if isinstance(module, (QConv2d, QLinear)):
+            quantizer = module.weight_quantizer
+            if isinstance(quantizer, DoReFaWeightQuantizer):
+                return "dorefa"
+            if isinstance(quantizer, LQNetsWeightQuantizer):
+                return "lqnets"
+            if isinstance(quantizer, WeightFakeQuantize):
+                return "uniform_qat"
+            raise ValueError(
+                f"No export scheme for weight quantizer {type(quantizer).__name__!r}"
+            )
+    raise ValueError(
+        "Model carries no recognizable quantization scheme (expected CSQ, BSQ "
+        "or QConv2d/QLinear QAT layers)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Activation-quantizer export (shared across schemes)
+# ---------------------------------------------------------------------------
+
+
+def _act_export(module: Optional[Module]) -> Tuple[int, str, Optional[float]]:
+    """``(act_bits, act_mode, act_range)`` of one layer's input quantizer."""
+    if module is None or isinstance(module, nn.Identity):
+        return 32, "observer", None
+    if isinstance(module, ActivationQuantizer):
+        return module.bits, module.mode, module.frozen_range()
+    if isinstance(module, PACTActivationQuantizer):
+        # Raw PACT wrapper (the "pact" QAT method): export the raw learned
+        # alpha, floored only when degenerate — mirroring
+        # ActivationQuantizer.frozen_range.
+        alpha = float(module.alpha.data.reshape(-1)[0])
+        return module.bits, "pact", (alpha if alpha > 0.0 else RANGE_FLOOR)
+    if isinstance(module, FakeQuantize):
+        _, upper = module.observer.range()
+        return module.bits, "observer", max(float(upper), RANGE_FLOOR)
+    raise ValueError(f"No activation exporter for {type(module).__name__!r}")
+
+
+# ---------------------------------------------------------------------------
+# Per-scheme weight freezers
+# ---------------------------------------------------------------------------
+
+
+def _ste_codes(weight: np.ndarray, bits: int):
+    """Codes of WeightFakeQuantize's eval forward, operation for operation.
+
+    The training forward multiplies by the *reciprocal* of the scale
+    (``ops.fake_quantize``), which differs from dividing by the scale at
+    rounding boundaries — the exporter must take the same route or codes
+    drift off the trained grid by one level.
+    """
+    levels = 2 ** bits - 1
+    scale = float(np.max(np.abs(weight)))
+    if scale == 0.0:
+        # The forward returns the (all-zero) weight unchanged.
+        return np.zeros(weight.shape, dtype=np.int64), 1.0
+    q = np.round(np.clip(weight * (1.0 / scale), -1.0, 1.0) * levels)
+    return q.astype(np.int64), scale
+
+
+def _dorefa_export(weight: np.ndarray, bits: int):
+    """Codes + affine dequant spec of DoReFa's tanh-normalized grid."""
+    levels = 2 ** bits - 1
+    squashed = np.tanh(weight)
+    max_abs = float(np.max(np.abs(squashed)))
+    if max_abs == 0.0:
+        # The forward returns the (all-zero) weight unchanged.
+        dequant = {"kind": "affine", "factor": 1.0, "offset": 0.0}
+        return np.zeros(weight.shape, dtype=np.int64), 1.0, dequant
+    normalized = squashed / (2.0 * max_abs) + 0.5
+    q = np.round(normalized * float(levels)).astype(np.int64)
+    dequant = {
+        "kind": "affine",
+        "factor": 2.0 * max_abs / float(levels),
+        "offset": -max_abs,
+    }
+    return q, max_abs, dequant
+
+
+def _lqnets_export(quantizer: LQNetsWeightQuantizer, weight: np.ndarray):
+    """Codes + palette dequant spec of LQ-Nets' learned level table.
+
+    An untrained quantizer (basis never fitted) gets the deterministic QEM
+    fit its eval forward would run on first use, so export and eval agree.
+    """
+    if quantizer._basis is None:
+        quantizer._qem_update(weight)
+    levels = np.sort(quantizer._codes @ quantizer._basis)
+    flat = weight.reshape(-1)
+    q = np.abs(flat[:, None] - levels[None, :]).argmin(axis=1)
+    q = q.astype(np.int64).reshape(weight.shape)
+    dequant = {"kind": "palette", "values": [float(v) for v in levels]}
+    return q, float(np.max(np.abs(levels))), dequant
+
+
+def _bsq_codes(layer: _BSQLayerBase):
+    """Frozen integer codes of a BSQ layer (rounded bit planes, mask applied)."""
+    planes_p = np.round(np.clip(layer.bits_p.data, 0.0, 1.0))
+    planes_n = np.round(np.clip(layer.bits_n.data, 0.0, 1.0))
+    diff = planes_p - planes_n
+    broadcast = (layer.num_bits,) + (1,) * len(layer.weight_shape)
+    weights = (layer._pow2 * layer.bit_mask.data).reshape(broadcast)
+    q = (diff * weights).sum(axis=0)
+    return q.astype(np.int64), float(layer.scale.data.reshape(-1)[0])
+
+
+def _conv_config(conv: Module) -> Dict[str, int]:
+    return {
+        "in_channels": conv.in_channels,
+        "out_channels": conv.out_channels,
+        "kernel_size": conv.kernel_size,
+        "stride": conv.stride,
+        "padding": conv.padding,
+        "groups": getattr(conv, "groups", 1),
+    }
+
+
+def _export_bsq_layers(model: Module) -> List[QuantizedLayerExport]:
+    exports: List[QuantizedLayerExport] = []
+    for name, layer in model.named_modules():
+        if not isinstance(layer, _BSQLayerBase):
+            continue
+        q, scale = _bsq_codes(layer)
+        if isinstance(layer, BSQConv2d):
+            kind, config = "conv2d", _conv_config(layer)
+        elif isinstance(layer, BSQLinear):
+            kind = "linear"
+            config = {"in_features": layer.in_features, "out_features": layer.out_features}
+        else:  # pragma: no cover - future BSQ layer kinds must register here
+            raise TypeError(f"Layer {name!r} has unsupported BSQ type {type(layer).__name__}")
+        act_bits, act_mode, act_range = _act_export(layer.act_quant)
+        exports.append(
+            QuantizedLayerExport(
+                name=name,
+                kind=kind,
+                q=q,
+                scale=scale,
+                num_bits=layer.num_bits,
+                precision=layer.precision,
+                selected_bits=[int(b) for b in layer.bit_mask.data],
+                act_bits=act_bits,
+                bias=layer.bias.data.copy() if layer.bias is not None else None,
+                config=config,
+                act_mode=act_mode,
+                act_range=act_range,
+            )
+        )
+    if not exports:
+        raise ValueError("Model has no BSQ layers to export (run convert_to_bsq first)")
+    return exports
+
+
+def _export_qat_layers(model: Module) -> List[QuantizedLayerExport]:
+    exports: List[QuantizedLayerExport] = []
+    for name, module in model.named_modules():
+        if not isinstance(module, (QConv2d, QLinear)):
+            continue
+        quantizer = module.weight_quantizer
+        bits = getattr(quantizer, "bits", 32)
+        if bits >= 32:
+            raise ValueError(
+                f"Layer {name!r} keeps float weights (bits={bits}); only "
+                f"quantized layers can be exported as integer codes"
+            )
+        weight = module.weight.data
+        dequant: Optional[Dict[str, object]] = None
+        if isinstance(quantizer, DoReFaWeightQuantizer):
+            q, scale, dequant = _dorefa_export(weight, bits)
+        elif isinstance(quantizer, LQNetsWeightQuantizer):
+            q, scale, dequant = _lqnets_export(quantizer, weight)
+        elif isinstance(quantizer, WeightFakeQuantize):
+            q, scale = _ste_codes(weight, bits)
+        else:
+            raise ValueError(
+                f"No exporter for weight quantizer {type(quantizer).__name__!r} "
+                f"(layer {name!r})"
+            )
+        if isinstance(module, QConv2d):
+            kind, config = "conv2d", _conv_config(module.conv)
+        else:
+            kind = "linear"
+            config = {
+                "in_features": module.linear.in_features,
+                "out_features": module.linear.out_features,
+            }
+        act_bits, act_mode, act_range = _act_export(module.activation_quantizer)
+        exports.append(
+            QuantizedLayerExport(
+                name=name,
+                kind=kind,
+                q=q,
+                scale=scale,
+                num_bits=bits,
+                precision=bits,
+                selected_bits=[1] * bits,
+                act_bits=act_bits,
+                bias=None if module.bias is None else module.bias.data.copy(),
+                config=config,
+                act_mode=act_mode,
+                act_range=act_range,
+                dequant=dequant,
+            )
+        )
+    if not exports:
+        raise ValueError(
+            "Model has no QConv2d/QLinear layers to export (run convert_to_qat "
+            "or convert_to_ptq first)"
+        )
+    return exports
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def export_model_layers(
+    model: Module, scheme: Optional[str] = None
+) -> Tuple[str, List[QuantizedLayerExport]]:
+    """Freeze ``model``'s quantized layers into artifact export records.
+
+    ``scheme`` overrides detection (useful when a wrapper family serves
+    several scheme ids, e.g. the PTQ wrappers of ``haq_like`` and ``hawq``);
+    by default :func:`detect_scheme` decides.  Returns the resolved scheme
+    id and the per-layer records, each stamped with that id.
+    """
+    if scheme is None:
+        scheme = detect_scheme(model)
+    if scheme not in KNOWN_SCHEMES:
+        raise ValueError(
+            f"Unknown quantization scheme {scheme!r}; known schemes: {KNOWN_SCHEMES}"
+        )
+    if scheme == "csq":
+        exports = export_quantized_layers(model)
+    elif scheme == "bsq":
+        exports = _export_bsq_layers(model)
+    else:
+        exports = _export_qat_layers(model)
+    for export in exports:
+        export.scheme = scheme
+    return scheme, exports
+
+
+# ---------------------------------------------------------------------------
+# Mixed-precision PTQ conversion (haq_like / hawq serving path)
+# ---------------------------------------------------------------------------
+
+
+def convert_to_ptq(
+    model: Module,
+    assignment: Dict[str, int],
+    act_bits: int = 32,
+    scheme: str = "haq_like",
+) -> Module:
+    """Apply a mixed-precision assignment as post-training quantization.
+
+    ``assignment`` maps layer names (as produced by ``named_modules`` on the
+    float model) to weight bit widths — the output of
+    :func:`repro.baselines.haq_like.greedy_precision_search` or
+    :func:`repro.baselines.hawq.assign_precisions_by_sensitivity`.  Each
+    named Conv2d/Linear is wrapped in a QAT wrapper with a symmetric
+    per-layer fake-quantizer at its assigned precision, and the model is
+    tagged so :func:`detect_scheme` reports ``scheme``.
+    """
+    if scheme not in ("haq_like", "hawq"):
+        raise ValueError(
+            f"convert_to_ptq serves the mixed-precision search baselines; "
+            f"got scheme {scheme!r} (expected 'haq_like' or 'hawq')"
+        )
+    if not assignment:
+        raise ValueError("convert_to_ptq needs a non-empty precision assignment")
+    remaining = dict(assignment)
+
+    def _convert_children(module: Module, prefix: str) -> None:
+        for child_name, child in list(module._modules.items()):
+            full_name = f"{prefix}.{child_name}" if prefix else child_name
+            if isinstance(child, (nn.Conv2d, nn.Linear)) and full_name in remaining:
+                bits = int(remaining.pop(full_name))
+                activation = (
+                    ActivationQuantizer(bits=act_bits, mode="observer")
+                    if act_bits < 32
+                    else None
+                )
+                wrapper_cls = QConv2d if isinstance(child, nn.Conv2d) else QLinear
+                module.add_module(
+                    child_name,
+                    wrapper_cls.from_float(child, WeightFakeQuantize(bits=bits), activation),
+                )
+            else:
+                _convert_children(child, full_name)
+
+    _convert_children(model, "")
+    if remaining:
+        raise ValueError(
+            f"Precision assignment names layers missing from the model: "
+            f"{sorted(remaining)}"
+        )
+    model._ptq_scheme = scheme
+    return model

@@ -181,6 +181,48 @@ class FloatGemmKernel(GemmKernel):
         return x @ self.w_t
 
 
+class GroupedGemmKernel(GemmKernel):
+    """Per-group float GEMMs for grouped/depthwise convolutions.
+
+    ``im2col`` orders its rows with the input channel outermost, so group
+    ``g``'s reduction rows form the contiguous block
+    ``[g*rows_g, (g+1)*rows_g)`` of the column matrix and its output
+    channels the contiguous block ``[g*cout_g, (g+1)*cout_g)`` of the
+    output store — a grouped convolution is ``groups`` dense GEMMs into
+    disjoint output row slices, no gather or copy required.  Each group
+    GEMM is the identical BLAS call the float path makes, so the integer
+    certification argument (products and partial sums below ``2**24`` are
+    exact in float32) applies per group unchanged.
+    """
+
+    def __init__(self, w_mat: np.ndarray, groups: int) -> None:
+        if w_mat.shape[0] % groups:
+            raise PlanError(
+                f"grouped kernel: {w_mat.shape[0]} output channels not divisible "
+                f"by groups={groups}"
+            )
+        self.w_mat = w_mat
+        self.groups = groups
+
+    def conv(self, cols: np.ndarray, out: np.ndarray) -> None:
+        if cols.shape[0] % self.groups:
+            raise PlanError(
+                f"grouped kernel: {cols.shape[0]} reduction rows not divisible "
+                f"by groups={self.groups}"
+            )
+        rows_g = cols.shape[0] // self.groups
+        cout_g = self.w_mat.shape[0] // self.groups
+        for g in range(self.groups):
+            parallel_gemm(
+                self.w_mat[g * cout_g:(g + 1) * cout_g],
+                cols[g * rows_g:(g + 1) * rows_g],
+                out=out[g * cout_g:(g + 1) * cout_g],
+            )
+
+    def linear(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - conv only
+        raise PlanError("GroupedGemmKernel only executes convolutions")
+
+
 class DenseIntGemmKernel(FloatGemmKernel):
     """Dense integer GEMM with compile-time-certified accumulation.
 
@@ -355,10 +397,18 @@ class ConvStep(Step):
         arena: Optional[BufferArena] = None,
         act_quant: Optional[ActQuantSpec] = None,
         kernel: Optional[GemmKernel] = None,
+        groups: int = 1,
     ) -> None:
         self.name = name
+        self.groups = groups
         self.w_mat = np.ascontiguousarray(w_mat, dtype=np.float32)
-        self.kernel = kernel if kernel is not None else FloatGemmKernel(self.w_mat)
+        if kernel is None:
+            kernel = (
+                GroupedGemmKernel(self.w_mat, groups)
+                if groups > 1
+                else FloatGemmKernel(self.w_mat)
+            )
+        self.kernel = kernel
         self.out_channels = self.w_mat.shape[0]
         self.mult = mult.astype(np.float32).reshape(-1, 1)
         self.shift = None if shift is None else shift.astype(np.float32).reshape(-1, 1)
@@ -413,6 +463,8 @@ class ConvStep(Step):
         tail = f"+{self.act_quant.describe()}" if self.act_quant is not None else ""
         if not self.kernel.is_float:
             tail += f"+{self.kernel.tag}"
+        if self.groups > 1:
+            tail += f"+g{self.groups}"
         tail += "+bn" if self.shift is not None else ""
         tail += "+relu" if self.relu else ""
         return f"conv[{self.name}]{tail}"
@@ -594,6 +646,117 @@ class ResidualStep(Step):
         return f"residual[{self.name}]({inner})"
 
 
+class TokensStep(Step):
+    """NCHW feature map → ``(N, T, C)`` token sequence (patch-embed output)."""
+
+    name = "tokens"
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        batch, channels = x.shape[0], x.shape[1]
+        return np.ascontiguousarray(
+            x.reshape(batch, channels, -1).transpose(0, 2, 1)
+        )
+
+
+class MeanTokensStep(Step):
+    """``(N, T, D)`` token sequence → ``(N, D)`` mean-pooled features."""
+
+    name = "mean_tokens"
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return x.mean(axis=1)
+
+
+class AttentionStep(Step):
+    """One transformer block: single-head attention + MLP, residual adds.
+
+    Holds six nested :class:`LinearStep` objects (q/k/v/proj and the two MLP
+    linears), each compiled from its own artifact record — quantized weights
+    and frozen activation ranges ride along per linear exactly as they do in
+    a flat plan.  Every linear runs on the ``(N*T, D)`` flattening and the
+    softmax replays :func:`repro.autograd.ops.softmax` operation for
+    operation (shifted exponentials normalized by their sum), matching the
+    eval graph's rounding behaviour.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        q: LinearStep,
+        k: LinearStep,
+        v: LinearStep,
+        proj: LinearStep,
+        fc1: LinearStep,
+        fc2: LinearStep,
+        scale: float,
+    ) -> None:
+        self.name = name
+        self.q, self.k, self.v, self.proj = q, k, v, proj
+        self.fc1, self.fc2 = fc1, fc2
+        self.scale = scale
+        #: Nested GEMM steps, walked by :func:`step_kernel_tags`.
+        self.inner = [q, k, v, proj, fc1, fc2]
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        batch, tokens, dim = x.shape
+        flat = np.ascontiguousarray(x).reshape(batch * tokens, dim)
+        q = self.q(flat).reshape(batch, tokens, dim)
+        k = self.k(flat).reshape(batch, tokens, dim)
+        v = self.v(flat).reshape(batch, tokens, dim)
+        scores = (q @ k.transpose(0, 2, 1)) * self.scale
+        shifted = scores - scores.max(axis=-1, keepdims=True)
+        exp_scores = np.exp(shifted)
+        attn = exp_scores / exp_scores.sum(axis=-1, keepdims=True)
+        context = attn @ v
+        context_flat = np.ascontiguousarray(context).reshape(batch * tokens, dim)
+        out = x + self.proj(context_flat).reshape(batch, tokens, dim)
+        flat = out.reshape(batch * tokens, dim)
+        mlp = self.fc2(self.fc1(flat))
+        return out + mlp.reshape(batch, tokens, dim)
+
+    def describe(self) -> str:
+        inner = ", ".join(s.describe() for s in self.inner)
+        return f"attention[{self.name}]({inner})"
+
+
+class TokenMixStep(Step):
+    """Mixer token-mixing MLP: transpose sandwich around two linears."""
+
+    def __init__(self, name: str, fc1: LinearStep, fc2: LinearStep) -> None:
+        self.name = name
+        self.fc1, self.fc2 = fc1, fc2
+        self.inner = [fc1, fc2]
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        batch, tokens, dim = x.shape
+        mixed = np.ascontiguousarray(x.transpose(0, 2, 1)).reshape(batch * dim, tokens)
+        mixed = self.fc2(self.fc1(mixed))
+        return x + mixed.reshape(batch, dim, tokens).transpose(0, 2, 1)
+
+    def describe(self) -> str:
+        inner = ", ".join(s.describe() for s in self.inner)
+        return f"token_mix[{self.name}]({inner})"
+
+
+class ChannelMixStep(Step):
+    """Mixer channel-mixing MLP on the ``(N*T, D)`` flattening."""
+
+    def __init__(self, name: str, fc1: LinearStep, fc2: LinearStep) -> None:
+        self.name = name
+        self.fc1, self.fc2 = fc1, fc2
+        self.inner = [fc1, fc2]
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        batch, tokens, dim = x.shape
+        flat = np.ascontiguousarray(x).reshape(batch * tokens, dim)
+        out = self.fc2(self.fc1(flat))
+        return x + out.reshape(batch, tokens, dim)
+
+    def describe(self) -> str:
+        inner = ", ".join(s.describe() for s in self.inner)
+        return f"channel_mix[{self.name}]({inner})"
+
+
 # ---------------------------------------------------------------------------
 # Compiler
 # ---------------------------------------------------------------------------
@@ -621,9 +784,32 @@ class PlanBuilder:
         self.steps: List[Step] = []
 
     # -- leaf emitters --------------------------------------------------
-    def _conv_record(self, module: Module, name: str):
+    def _conv_record(self, module: Module, name: str, groups: int = 1):
         record = self.weights.get(id(module))
         act_quant = None
+        if record is not None and record.dequant_kind != "symmetric":
+            # Affine (DoReFa) and palette (LQ-Nets) dequantization cannot
+            # fold into the per-channel output multiplier — an offset or a
+            # level table is not expressible as ``out * mult`` — so these
+            # schemes run float GEMM on the dequantized weights.  Memoized
+            # on the record like the code matrix below.
+            w_mat = getattr(record, "_w_deq_f32", None)
+            if w_mat is None:
+                w_mat = np.ascontiguousarray(
+                    record.dequantized_weight.reshape(record.q.shape[0], -1)
+                )
+                w_mat.flags.writeable = False
+                record._w_deq_f32 = w_mat
+            dequant = 1.0
+            bias = record.bias
+            if not self.float_activations:
+                act_quant = ActQuantSpec.from_record(record)
+            if act_quant is not None:
+                # The GEMM input is activation codes; only the activation
+                # dequantization remains to fold into the output multiplier.
+                dequant = act_quant.scale
+            kernel = GroupedGemmKernel(w_mat, groups) if groups > 1 else None
+            return w_mat, dequant, bias, act_quant, kernel
         if record is not None:
             # Memoize the float GEMM matrix on the record: plan steps only
             # read it, so every session cloned from the same artifact (one
@@ -644,17 +830,23 @@ class PlanBuilder:
                 # The GEMM output is codes x codes: both the weight and the
                 # activation dequantization fold into one output multiplier.
                 dequant = dequant * act_quant.scale
-            kernel = _record_kernel(record, w_mat, act_quant)
+            if groups > 1:
+                # Grouped convs run per-group float BLAS; the integer-GEMM
+                # selection policy only covers full-matrix kernels.
+                kernel = GroupedGemmKernel(w_mat, groups)
+            else:
+                kernel = _record_kernel(record, w_mat, act_quant)
         else:
             weight = module.weight.data
             w_mat = weight.reshape(weight.shape[0], -1).astype(np.float32)
             dequant = 1.0
             bias = None if module.bias is None else module.bias.data
-            kernel = None
+            kernel = GroupedGemmKernel(w_mat, groups) if groups > 1 else None
         return w_mat, dequant, bias, act_quant, kernel
 
     def conv(self, module: Module, name: str) -> None:
-        w_mat, dequant, bias, act_quant, kernel = self._conv_record(module, name)
+        groups = getattr(module, "groups", 1)
+        w_mat, dequant, bias, act_quant, kernel = self._conv_record(module, name, groups=groups)
         out_channels = w_mat.shape[0]
         mult = np.full(out_channels, dequant, dtype=np.float32)
         shift = None if bias is None else bias.astype(np.float32)
@@ -670,19 +862,28 @@ class PlanBuilder:
                 arena=self.arena,
                 act_quant=act_quant,
                 kernel=kernel,
+                groups=groups,
             )
         )
 
-    def linear(self, module: Module, name: str) -> None:
+    def linear_step(self, module: Module, name: str, relu: bool = False) -> LinearStep:
+        """Build (but do not append) the LinearStep for one linear module.
+
+        Composite steps — attention and mixer blocks — embed linears inside
+        one fused step; this gives them record-resolved LinearSteps without
+        touching the flat step stream.
+        """
         # A quantized record's bias is authoritative — like the conv path,
         # never fall back to the skeleton module's (randomly initialized)
         # bias when the record says the layer has none.
         w_mat, dequant, bias, act_quant, kernel = self._conv_record(module, name)
-        self.steps.append(
-            LinearStep(
-                name, w_mat, dequant, bias, arena=self.arena, act_quant=act_quant, kernel=kernel
-            )
+        return LinearStep(
+            name, w_mat, dequant, bias, relu=relu,
+            arena=self.arena, act_quant=act_quant, kernel=kernel,
         )
+
+    def linear(self, module: Module, name: str) -> None:
+        self.steps.append(self.linear_step(module, name))
 
     def batch_norm(self, module: Module, name: str) -> None:
         invstd = 1.0 / np.sqrt(module.running_var.data + module.eps)
@@ -825,6 +1026,8 @@ def step_kernel_tags(step: Step) -> Dict[str, str]:
             if hasattr(inner, "main"):
                 walk(inner.main)
                 walk(inner.shortcut)
+            # Attention/mixer steps embed their GEMM sub-steps in ``inner``.
+            walk(getattr(inner, "inner", []))
 
     walk([step])
     return tags
@@ -982,3 +1185,67 @@ def _handle_tiny_mlp(builder: PlanBuilder, model: Module, name: str) -> None:
     builder.linear(model.fc1, _child_name(name, "fc1"))
     builder.relu()
     builder.linear(model.fc2, _child_name(name, "fc2"))
+
+
+@register_plan_handler("DepthwiseSeparableBlock")
+def _handle_dw_separable(builder: PlanBuilder, block: Module, name: str) -> None:
+    builder.conv(block.dw, _child_name(name, "dw"))
+    builder.batch_norm(block.bn1, _child_name(name, "bn1"))
+    builder.relu()
+    builder.conv(block.pw, _child_name(name, "pw"))
+    builder.batch_norm(block.bn2, _child_name(name, "bn2"))
+    builder.relu()
+
+
+@register_plan_handler("MobileNetTiny")
+def _handle_mobilenet_tiny(builder: PlanBuilder, model: Module, name: str) -> None:
+    builder.conv(model.stem, _child_name(name, "stem"))
+    builder.batch_norm(model.bn, _child_name(name, "bn"))
+    builder.relu()
+    builder.compile(model.blocks, _child_name(name, "blocks"))
+    builder.steps.append(GlobalAvgPoolStep())
+    builder.steps.append(FlattenStep())
+    builder.linear(model.fc, _child_name(name, "fc"))
+
+
+@register_plan_handler("AttentionBlock")
+def _handle_attention_block(builder: PlanBuilder, block: Module, name: str) -> None:
+    builder.steps.append(
+        AttentionStep(
+            name,
+            q=builder.linear_step(block.q, _child_name(name, "q")),
+            k=builder.linear_step(block.k, _child_name(name, "k")),
+            v=builder.linear_step(block.v, _child_name(name, "v")),
+            proj=builder.linear_step(block.proj, _child_name(name, "proj")),
+            fc1=builder.linear_step(block.fc1, _child_name(name, "fc1"), relu=True),
+            fc2=builder.linear_step(block.fc2, _child_name(name, "fc2")),
+            scale=block.scale,
+        )
+    )
+
+
+@register_plan_handler("MixerBlock")
+def _handle_mixer_block(builder: PlanBuilder, block: Module, name: str) -> None:
+    builder.steps.append(
+        TokenMixStep(
+            name,
+            builder.linear_step(block.token_fc1, _child_name(name, "token_fc1"), relu=True),
+            builder.linear_step(block.token_fc2, _child_name(name, "token_fc2")),
+        )
+    )
+    builder.steps.append(
+        ChannelMixStep(
+            name,
+            builder.linear_step(block.channel_fc1, _child_name(name, "channel_fc1"), relu=True),
+            builder.linear_step(block.channel_fc2, _child_name(name, "channel_fc2")),
+        )
+    )
+
+
+@register_plan_handler("TinyAttention", "TinyMixer")
+def _handle_token_model(builder: PlanBuilder, model: Module, name: str) -> None:
+    builder.conv(model.patch_embed, _child_name(name, "patch_embed"))
+    builder.steps.append(TokensStep())
+    builder.compile(model.blocks, _child_name(name, "blocks"))
+    builder.steps.append(MeanTokensStep())
+    builder.linear(model.head, _child_name(name, "head"))

@@ -152,6 +152,10 @@ class InferenceSession:
         return self.artifact.arch
 
     @property
+    def scheme_id(self) -> str:
+        return self.artifact.scheme_id
+
+    @property
     def precision_map(self) -> Dict[str, int]:
         return self.artifact.precision_map
 
@@ -190,7 +194,7 @@ class InferenceSession:
     def summary(self) -> str:
         tags = sorted(set(self.gemm_kernels.values()))
         header = (
-            f"InferenceSession(arch={self.arch!r}, "
+            f"InferenceSession(arch={self.arch!r}, scheme={self.scheme_id!r}, "
             f"avg_precision={self.artifact.scheme().average_precision:.2f}, "
             f"steps={len(self.plan)}, activations={self.activation_mode}, "
             f"gemm={'/'.join(tags) if tags else 'none'})"

@@ -16,11 +16,19 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.baselines.bsq import bsq_layers, convert_to_bsq
+from repro.baselines.haq_like import greedy_precision_search
+from repro.baselines.hawq import assign_precisions_by_sensitivity, hessian_sensitivities
+from repro.baselines.uniform_qat import UniformQATConfig, convert_to_qat
 from repro.csq.convert import convert_to_csq, freeze_model
 from repro.csq.precision import csq_layers
+from repro.deploy.export import KNOWN_SCHEMES, convert_to_ptq
 from repro.models import create_model
 from repro.nn.module import Module
 from repro.quant.act_quant import calibrate_activations
+from repro.quant.lqnets import LQNetsWeightQuantizer
+from repro.quant.qconv import QConv2d
+from repro.quant.qlinear import QLinear
 
 
 def frozen_mixed_model(
@@ -70,4 +78,104 @@ def frozen_mixed_model(
             ),
         )
     freeze_model(model)
+    return model
+
+
+def frozen_scheme_model(
+    scheme: str,
+    arch: str,
+    seed: int = 1,
+    act_bits: int = 32,
+    weight_bits: int = 4,
+    calibration_shape: Optional[Tuple[int, ...]] = None,
+    calibration_batches: int = 3,
+    **arch_kwargs,
+) -> Module:
+    """A deterministic frozen model quantized with any supported scheme.
+
+    The cross-scheme conformance tests serve every ``(scheme, arch)`` cell
+    through the deployment stack and pin parity against the frozen eval
+    graph this helper returns.  Per scheme:
+
+    * ``csq`` — :func:`frozen_mixed_model` (deterministic mixed precisions),
+    * ``bsq`` — ``convert_to_bsq`` with the top bit plane pruned on every
+      other layer, so the stored mask is non-trivial,
+    * ``uniform_qat`` / ``dorefa`` / ``lqnets`` — ``convert_to_qat`` with
+      the matching method (LQ-Nets bases are QEM-fitted eagerly so repeated
+      reference evaluations reuse one frozen level table),
+    * ``haq_like`` / ``hawq`` — the scheme's precision search on seeded
+      synthetic data, applied with :func:`repro.deploy.export.convert_to_ptq`
+      (these require ``calibration_shape``).
+
+    ``calibration_shape`` additionally drives seeded observer calibration
+    whenever ``act_bits < 32``, exactly as in :func:`frozen_mixed_model`.
+    The returned model is in eval mode.
+    """
+    if scheme == "csq":
+        model = frozen_mixed_model(
+            arch,
+            seed=seed,
+            act_bits=act_bits,
+            calibration_shape=calibration_shape,
+            calibration_batches=calibration_batches,
+            **arch_kwargs,
+        )
+        model.eval()
+        return model
+    if scheme not in KNOWN_SCHEMES:
+        raise ValueError(f"Unknown scheme {scheme!r}; known schemes: {KNOWN_SCHEMES}")
+    np.random.seed(seed)  # layer init draws from the global generator
+    model = create_model(arch, **arch_kwargs)
+    rng = np.random.default_rng(seed + 1)
+    if scheme == "bsq":
+        convert_to_bsq(model, num_bits=weight_bits, act_bits=act_bits)
+        for index, (_, layer) in enumerate(bsq_layers(model)):
+            if index % 2 == 1 and layer.num_bits > 1:
+                mask = layer.bit_mask.data.copy()
+                mask[-1] = 0.0
+                layer.bit_mask.data = mask
+    elif scheme in ("uniform_qat", "dorefa", "lqnets"):
+        method = "ste" if scheme == "uniform_qat" else scheme
+        convert_to_qat(
+            model,
+            UniformQATConfig(weight_bits=weight_bits, act_bits=act_bits, method=method),
+        )
+    else:  # haq_like / hawq: run the scheme's search on seeded data
+        if calibration_shape is None:
+            raise ValueError(f"{scheme!r} needs calibration_shape for its precision search")
+        images = rng.standard_normal(calibration_shape).astype(np.float32)
+        num_classes = int(arch_kwargs.get("num_classes", 10))
+        labels = rng.integers(0, num_classes, size=calibration_shape[0]).astype(np.int64)
+        if scheme == "haq_like":
+            assignment = greedy_precision_search(
+                model, images, labels, target_average_bits=float(weight_bits)
+            )
+        else:
+            sensitivities = hessian_sensitivities(model, images, labels, num_probes=2, seed=seed)
+            layer_sizes = {
+                name: int(module.weight.data.size)
+                for name, module in model.named_modules()
+                if name in sensitivities
+            }
+            assignment = assign_precisions_by_sensitivity(
+                sensitivities, layer_sizes, target_average_bits=float(weight_bits)
+            )
+        convert_to_ptq(model, assignment, act_bits=act_bits, scheme=scheme)
+    model.eval()
+    # Fit LQ-Nets bases now: quantize_array on a fresh quantizer runs the
+    # deterministic QEM fit, after which export and every reference eval
+    # share one frozen level table.
+    for _, module in model.named_modules():
+        if isinstance(module, (QConv2d, QLinear)) and isinstance(
+            module.weight_quantizer, LQNetsWeightQuantizer
+        ):
+            module.weight_quantizer.quantize_array(module.weight.data)
+    if act_bits < 32 and calibration_shape is not None:
+        calibrate_activations(
+            model,
+            (
+                rng.standard_normal(calibration_shape).astype(np.float32)
+                for _ in range(calibration_batches)
+            ),
+        )
     return model

@@ -16,6 +16,8 @@ from repro.models.resnet_cifar import ResNetCIFAR, resnet20, resnet32, resnet44,
 from repro.models.resnet_imagenet import ResNetImageNet, resnet18, resnet34, resnet50
 from repro.models.vgg import VGG, vgg11_bn, vgg16_bn, vgg19_bn
 from repro.models.simple import SimpleConvNet, TinyMLP
+from repro.models.mobilenet import DepthwiseSeparableBlock, MobileNetTiny
+from repro.models.attention import AttentionBlock, MixerBlock, TinyAttention, TinyMixer
 from repro.models.registry import create_model, list_models, register_model
 
 __all__ = [
@@ -34,6 +36,12 @@ __all__ = [
     "vgg19_bn",
     "SimpleConvNet",
     "TinyMLP",
+    "DepthwiseSeparableBlock",
+    "MobileNetTiny",
+    "AttentionBlock",
+    "MixerBlock",
+    "TinyAttention",
+    "TinyMixer",
     "create_model",
     "list_models",
     "register_model",

@@ -1,0 +1,160 @@
+"""Token-based architectures: a tiny attention transformer and an MLP-mixer.
+
+Both models turn the image into a token sequence with a patch-embedding
+convolution and then operate on ``(N, T, D)`` tensors.  Every linear layer
+is applied to the two-dimensional ``(N*T, D)`` flattening of the sequence —
+the deployment plan compiles linears as 2-D GEMM steps, and keeping the
+training graph on the identical flatten-linear-reshape structure means the
+served plan replays the eval graph operation for operation.
+
+Attention here is single-head (the paper's models carry no attention at
+all; this exists to exercise the deployment tier on a non-convolutional
+topology), and the mixer block is the two-MLP token/channel factorization
+of MLP-Mixer with one hidden layer each.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import nn
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.nn import functional as F
+
+
+class AttentionBlock(nn.Module):
+    """Pre-activation-free transformer block: attention + MLP, residual adds.
+
+    Single-head scaled dot-product attention over ``(N, T, D)`` tokens.  The
+    q/k/v/proj projections and the two MLP linears all run on the
+    ``(N*T, D)`` flattening so the plan compiler can reuse its 2-D linear
+    steps verbatim.
+    """
+
+    def __init__(self, dim: int, mlp_ratio: float = 2.0) -> None:
+        super().__init__()
+        self.dim = dim
+        self.scale = 1.0 / math.sqrt(dim)
+        self.q = nn.Linear(dim, dim)
+        self.k = nn.Linear(dim, dim)
+        self.v = nn.Linear(dim, dim)
+        self.proj = nn.Linear(dim, dim)
+        hidden = max(int(dim * mlp_ratio), 1)
+        self.fc1 = nn.Linear(dim, hidden)
+        self.fc2 = nn.Linear(hidden, dim)
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, t, d = x.shape
+        flat = x.reshape(n * t, d)
+        q = self.q(flat).reshape(n, t, d)
+        k = self.k(flat).reshape(n, t, d)
+        v = self.v(flat).reshape(n, t, d)
+        scores = ops.matmul(q, k.transpose((0, 2, 1))) * self.scale
+        attn = ops.softmax(scores, axis=-1)
+        context = ops.matmul(attn, v)
+        x = x + self.proj(context.reshape(n * t, d)).reshape(n, t, d)
+        flat = x.reshape(n * t, d)
+        mlp = self.fc2(F.relu(self.fc1(flat)))
+        return x + mlp.reshape(n, t, d)
+
+
+class TinyAttention(nn.Module):
+    """Patch embedding → attention blocks → mean-pool → linear head."""
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        dim: int = 16,
+        patch_size: int = 4,
+        depth: int = 1,
+        mlp_ratio: float = 2.0,
+    ) -> None:
+        super().__init__()
+        self.patch_embed = nn.Conv2d(in_channels, dim, patch_size, stride=patch_size)
+        self.blocks = nn.Sequential(
+            *[AttentionBlock(dim, mlp_ratio) for _ in range(depth)]
+        )
+        self.head = nn.Linear(dim, num_classes)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.patch_embed(x)
+        n, d = x.shape[0], x.shape[1]
+        tokens = x.reshape(n, d, -1).transpose((0, 2, 1))
+        tokens = self.blocks(tokens)
+        pooled = tokens.mean(axis=1)
+        return self.head(pooled)
+
+
+class MixerBlock(nn.Module):
+    """MLP-Mixer block: token-mixing MLP then channel-mixing MLP.
+
+    The token MLP runs on the ``(N*D, T)`` flattening of the transposed
+    sequence, the channel MLP on ``(N*T, D)`` — both plain 2-D linears for
+    the plan compiler, with residual adds around each.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        num_tokens: int,
+        token_ratio: float = 2.0,
+        channel_ratio: float = 2.0,
+    ) -> None:
+        super().__init__()
+        self.dim = dim
+        self.num_tokens = num_tokens
+        token_hidden = max(int(num_tokens * token_ratio), 1)
+        channel_hidden = max(int(dim * channel_ratio), 1)
+        self.token_fc1 = nn.Linear(num_tokens, token_hidden)
+        self.token_fc2 = nn.Linear(token_hidden, num_tokens)
+        self.channel_fc1 = nn.Linear(dim, channel_hidden)
+        self.channel_fc2 = nn.Linear(channel_hidden, dim)
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, t, d = x.shape
+        mixed = x.transpose((0, 2, 1)).reshape(n * d, t)
+        mixed = self.token_fc2(F.relu(self.token_fc1(mixed)))
+        x = x + mixed.reshape(n, d, t).transpose((0, 2, 1))
+        flat = x.reshape(n * t, d)
+        out = self.channel_fc2(F.relu(self.channel_fc1(flat)))
+        return x + out.reshape(n, t, d)
+
+
+class TinyMixer(nn.Module):
+    """Patch embedding → mixer blocks → mean-pool → linear head.
+
+    The token-mixing linears are sized by the patch grid, so the model is
+    tied to one input resolution (``image_size``), exactly like MLP-Mixer.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        dim: int = 16,
+        patch_size: int = 4,
+        image_size: int = 16,
+        depth: int = 1,
+    ) -> None:
+        super().__init__()
+        if image_size % patch_size:
+            raise ValueError(
+                f"image_size={image_size} must be a multiple of patch_size={patch_size}"
+            )
+        num_tokens = (image_size // patch_size) ** 2
+        self.num_tokens = num_tokens
+        self.patch_embed = nn.Conv2d(in_channels, dim, patch_size, stride=patch_size)
+        self.blocks = nn.Sequential(
+            *[MixerBlock(dim, num_tokens) for _ in range(depth)]
+        )
+        self.head = nn.Linear(dim, num_classes)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.patch_embed(x)
+        n, d = x.shape[0], x.shape[1]
+        tokens = x.reshape(n, d, -1).transpose((0, 2, 1))
+        tokens = self.blocks(tokens)
+        pooled = tokens.mean(axis=1)
+        return self.head(pooled)

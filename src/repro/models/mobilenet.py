@@ -1,0 +1,68 @@
+"""MobileNet-style depthwise-separable model for the grouped-conv runtime.
+
+The paper's experiments stay on ResNet/VGG, but the deployment tier needs a
+depthwise workload to exercise the grouped-conv fast path end to end
+(training graph, quantization wrappers, export, plan compilation).  This is
+the classic MobileNet-v1 factorization — a 3x3 depthwise convolution
+(``groups == in_channels``) followed by a 1x1 pointwise convolution, each
+with batch normalization and ReLU — shrunk to unit-test scale.
+"""
+
+from __future__ import annotations
+
+from repro import nn
+from repro.autograd.tensor import Tensor
+from repro.nn import functional as F
+
+
+class DepthwiseSeparableBlock(nn.Module):
+    """Depthwise 3x3 + pointwise 1x1, each with BN and ReLU (MobileNet v1)."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1) -> None:
+        super().__init__()
+        self.dw = nn.Conv2d(
+            in_channels, in_channels, 3, stride=stride, padding=1,
+            bias=False, groups=in_channels,
+        )
+        self.bn1 = nn.BatchNorm2d(in_channels)
+        self.pw = nn.Conv2d(in_channels, out_channels, 1, bias=False)
+        self.bn2 = nn.BatchNorm2d(out_channels)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = F.relu(self.bn1(self.dw(x)))
+        return F.relu(self.bn2(self.pw(out)))
+
+
+class MobileNetTiny(nn.Module):
+    """Three-block depthwise-separable classifier at test scale.
+
+    Structurally a MobileNet: a dense stem convolution, a stack of
+    depthwise-separable blocks (one with stride 2), global average pooling
+    and a linear head.  ``width_mult`` scales the channel counts the same
+    way the ResNet/VGG constructors do.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        width_mult: float = 1.0,
+    ) -> None:
+        super().__init__()
+        widths = [max(int(w * width_mult), 1) for w in (8, 16, 24)]
+        self.stem = nn.Conv2d(in_channels, widths[0], 3, padding=1, bias=False)
+        self.bn = nn.BatchNorm2d(widths[0])
+        self.blocks = nn.Sequential(
+            DepthwiseSeparableBlock(widths[0], widths[1]),
+            DepthwiseSeparableBlock(widths[1], widths[2], stride=2),
+            DepthwiseSeparableBlock(widths[2], widths[2]),
+        )
+        self.avgpool = nn.AdaptiveAvgPool2d(1)
+        self.fc = nn.Linear(widths[2], num_classes)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = F.relu(self.bn(self.stem(x)))
+        out = self.blocks(out)
+        out = self.avgpool(out)
+        out = out.flatten(1)
+        return self.fc(out)

@@ -44,7 +44,7 @@ def list_models() -> List[str]:
 
 
 def _register_builtins() -> None:
-    from repro.models import resnet_cifar, resnet_imagenet, vgg, simple
+    from repro.models import attention, mobilenet, resnet_cifar, resnet_imagenet, vgg, simple
 
     builtin = {
         "resnet20": resnet_cifar.resnet20,
@@ -59,6 +59,9 @@ def _register_builtins() -> None:
         "vgg19_bn": vgg.vgg19_bn,
         "simple_convnet": simple.SimpleConvNet,
         "tiny_mlp": simple.TinyMLP,
+        "mobilenet_tiny": mobilenet.MobileNetTiny,
+        "tiny_attention": attention.TinyAttention,
+        "tiny_mixer": attention.TinyMixer,
     }
     for name, factory in builtin.items():
         if name not in _REGISTRY:

@@ -14,7 +14,8 @@ class Conv2d(Module):
 
     Only square kernels, integer stride and symmetric zero padding are
     supported, which covers every architecture used in the paper (ResNet and
-    VGG families).
+    VGG families).  ``groups`` enables grouped/depthwise convolution
+    (``groups == in_channels`` is depthwise) for the MobileNet-style models.
     """
 
     def __init__(
@@ -25,14 +26,23 @@ class Conv2d(Module):
         stride: int = 1,
         padding: int = 0,
         bias: bool = True,
+        groups: int = 1,
     ) -> None:
         super().__init__()
+        if groups < 1:
+            raise ValueError(f"groups must be >= 1, got {groups}")
+        if in_channels % groups or out_channels % groups:
+            raise ValueError(
+                f"groups={groups} must divide in_channels={in_channels} "
+                f"and out_channels={out_channels}"
+            )
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.kernel_size = kernel_size
         self.stride = stride
         self.padding = padding
-        weight_shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.groups = groups
+        weight_shape = (out_channels, in_channels // groups, kernel_size, kernel_size)
         self.weight = Parameter(init.kaiming_normal(weight_shape, mode="fan_out"))
         if bias:
             self.bias = Parameter(init.uniform_fan_in_bias(weight_shape, out_channels))
@@ -53,10 +63,18 @@ class Conv2d(Module):
                 f"Conv2d kernel {self.kernel_size} does not fit {height}x{width} "
                 f"input with padding {self.padding}"
             )
-        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+        return F.conv2d(
+            x,
+            self.weight,
+            self.bias,
+            stride=self.stride,
+            padding=self.padding,
+            groups=self.groups,
+        )
 
     def extra_repr(self) -> str:
         return (
             f"{self.in_channels}, {self.out_channels}, kernel_size={self.kernel_size}, "
-            f"stride={self.stride}, padding={self.padding}, bias={self.bias is not None}"
+            f"stride={self.stride}, padding={self.padding}, groups={self.groups}, "
+            f"bias={self.bias is not None}"
         )

@@ -59,6 +59,39 @@ def dequantize_codes(q: np.ndarray, scale: float, bits: int) -> np.ndarray:
     return (np.asarray(q).astype(np.float32) * (float(scale) / levels)).astype(np.float32)
 
 
+def dequantize_with_spec(
+    q: np.ndarray, scale: float, bits: int, dequant: dict | None = None
+) -> np.ndarray:
+    """Map integer codes to float weights under a scheme's dequant spec.
+
+    ``dequant`` is the per-layer dequantization metadata a deployment
+    artifact carries (``None`` or ``kind="symmetric"`` for the CSQ/uniform
+    linear contract of :func:`dequantize_codes`):
+
+    * ``{"kind": "symmetric"}`` — ``w = q * scale / (2**bits - 1)``,
+    * ``{"kind": "affine", "factor": f, "offset": o}`` — ``w = q*f + o``
+      (DoReFa's tanh-normalized grid, where code 0 maps to ``-max_abs``),
+    * ``{"kind": "palette", "values": [...]}`` — ``w = values[q]`` (LQ-Nets'
+      learned non-uniform levels, codes indexing the sorted level table).
+    """
+    kind = (dequant or {}).get("kind", "symmetric")
+    if kind == "symmetric":
+        return dequantize_codes(q, scale, bits)
+    if kind == "affine":
+        factor = np.float32(dequant["factor"])
+        offset = np.float32(dequant["offset"])
+        return (np.asarray(q).astype(np.float32) * factor + offset).astype(np.float32)
+    if kind == "palette":
+        values = np.asarray(dequant["values"], dtype=np.float32)
+        codes = np.asarray(q, dtype=np.int64)
+        if codes.size and (codes.min() < 0 or codes.max() >= values.size):
+            raise ValueError(
+                f"palette codes out of range [0, {values.size}) for {values.size} levels"
+            )
+        return values[codes]
+    raise ValueError(f"Unknown dequantization kind {kind!r}")
+
+
 def bit_decompose(weight: np.ndarray, bits: int, scale: float | None = None) -> Tuple[np.ndarray, np.ndarray, float]:
     """Decompose a weight tensor into positive/negative bit planes (Eq. 1).
 

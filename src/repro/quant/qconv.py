@@ -62,6 +62,7 @@ class QConv2d(Module):
             self.conv.bias,
             stride=self.conv.stride,
             padding=self.conv.padding,
+            groups=getattr(self.conv, "groups", 1),
         )
 
     def extra_repr(self) -> str:

@@ -116,7 +116,7 @@ def test_wrong_arch_kwargs_rejected_at_build(artifact_path):
 def test_float_model_rejected(artifact_path):
     from repro.models import create_model
 
-    with pytest.raises(ValueError, match="convert_to_csq"):
+    with pytest.raises(ValueError, match="no recognizable quantization scheme"):
         save_artifact(create_model("simple_convnet"), artifact_path, arch="simple_convnet")
 
 

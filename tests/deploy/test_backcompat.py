@@ -1,16 +1,22 @@
-"""Backward compatibility: PR-2-era (format version 1) artifacts still serve.
+"""Backward compatibility: older-format artifacts still serve.
 
 A version-1 manifest predates the activation-range fields (``act_mode``,
 ``act_range``): float-weight semantics were identical to today's, so a v1
 artifact of a float-activation model must load and serve **bit-identically**
-to its v2 re-export, while a v1 artifact of an ``act_bits < 32`` model — the
+to its v3 re-export, while a v1 artifact of an ``act_bits < 32`` model — the
 grid is unreconstructable — must refuse to serve without the explicit
 ``float_activations=True`` override.
 
-The v1 fixtures are produced by rewriting a freshly saved artifact's
-manifest down to the old schema (version pinned, act fields stripped) — the
-byte-level layout (packed codes, float blob, zip members) never changed
-between versions, so this reproduces a PR-2 file exactly.
+A version-2 manifest predates the ``scheme`` id and per-layer ``dequant``
+specs; every v2 artifact was produced by the CSQ exporter, so it must load
+as scheme ``"csq"`` with symmetric dequantization and serve bit-identically
+to its v3 re-export.  A manifest naming a scheme this build doesn't know
+must be refused with a typed error naming the scheme.
+
+The old-version fixtures are produced by rewriting a freshly saved
+artifact's manifest down to the old schema (version pinned, newer fields
+stripped) — the byte-level layout (packed codes, float blob, zip members)
+never changed between versions, so this reproduces the old files exactly.
 """
 
 import io
@@ -20,25 +26,27 @@ import numpy as np
 import pytest
 
 from repro.deploy import InferenceSession, load_artifact, save_artifact
-from repro.deploy.artifact import FORMAT_VERSION, SUPPORTED_VERSIONS, ArtifactError
+from repro.deploy.artifact import (
+    FORMAT_VERSION,
+    SUPPORTED_VERSIONS,
+    ArtifactError,
+    UnknownSchemeError,
+)
 from tests.deploy.conftest import frozen_mixed_model
 
 #: Schema pin: bump deliberately, alongside a loader path for every older
-#: version.  v1 = PR-2 manifests without activation-range fields.
-_EXPECTED_CURRENT_VERSION = 2
-_EXPECTED_SUPPORTED = (1, 2)
+#: version.  v1 = PR-2 manifests without activation-range fields; v2 adds
+#: those; v3 adds the scheme id and per-layer dequant specs.
+_EXPECTED_CURRENT_VERSION = 3
+_EXPECTED_SUPPORTED = (1, 2, 3)
 
 
-def _downgrade_to_v1(path: str) -> None:
-    """Rewrite an artifact file's manifest to the PR-2 (version 1) schema."""
+def _rewrite_manifest(path: str, mutate) -> None:
+    """Load an artifact file, apply ``mutate(manifest)``, write it back."""
     with np.load(path, allow_pickle=False) as archive:
         arrays = {name: archive[name].copy() for name in archive.files}
     manifest = json.loads(bytes(arrays["manifest"]).decode("utf-8"))
-    assert manifest["format_version"] == FORMAT_VERSION
-    manifest["format_version"] = 1
-    for entry in manifest["layers"]:
-        entry.pop("act_mode", None)
-        entry.pop("act_range", None)
+    mutate(manifest)
     arrays["manifest"] = np.frombuffer(
         json.dumps(manifest, sort_keys=True).encode("utf-8"), dtype=np.uint8
     )
@@ -46,6 +54,34 @@ def _downgrade_to_v1(path: str) -> None:
     np.savez(buffer, **arrays)
     with open(path, "wb") as handle:
         handle.write(buffer.getvalue())
+
+
+def _downgrade_to_v2(path: str) -> None:
+    """Rewrite an artifact file's manifest to the PR-4-era (version 2) schema."""
+
+    def mutate(manifest):
+        assert manifest["format_version"] == FORMAT_VERSION
+        manifest["format_version"] = 2
+        manifest.pop("scheme", None)
+        for entry in manifest["layers"]:
+            entry.pop("dequant", None)
+
+    _rewrite_manifest(path, mutate)
+
+
+def _downgrade_to_v1(path: str) -> None:
+    """Rewrite an artifact file's manifest to the PR-2 (version 1) schema."""
+
+    def mutate(manifest):
+        assert manifest["format_version"] == FORMAT_VERSION
+        manifest["format_version"] = 1
+        manifest.pop("scheme", None)
+        for entry in manifest["layers"]:
+            entry.pop("act_mode", None)
+            entry.pop("act_range", None)
+            entry.pop("dequant", None)
+
+    _rewrite_manifest(path, mutate)
 
 
 def test_schema_version_pins():
@@ -103,16 +139,67 @@ def test_unknown_future_version_rejected(tmp_path):
     path = str(tmp_path / "future.npz")
     save_artifact(model, path, arch="simple_convnet",
                   arch_kwargs={"num_classes": 10, "width": 8})
-    with np.load(path, allow_pickle=False) as archive:
-        arrays = {name: archive[name].copy() for name in archive.files}
-    manifest = json.loads(bytes(arrays["manifest"]).decode("utf-8"))
-    manifest["format_version"] = 99
-    arrays["manifest"] = np.frombuffer(
-        json.dumps(manifest, sort_keys=True).encode("utf-8"), dtype=np.uint8
-    )
-    buffer = io.BytesIO()
-    np.savez(buffer, **arrays)
-    with open(path, "wb") as handle:
-        handle.write(buffer.getvalue())
+
+    def mutate(manifest):
+        manifest["format_version"] = 99
+
+    _rewrite_manifest(path, mutate)
     with pytest.raises(ArtifactError, match="version"):
+        load_artifact(path)
+
+
+# ---------------------------------------------------------------------------
+# v2 → v3: scheme id and dequant specs
+# ---------------------------------------------------------------------------
+
+
+def test_v2_manifest_loads_as_csq(tmp_path):
+    """A v2 artifact carries no scheme field: it is CSQ by construction."""
+    model = frozen_mixed_model("simple_convnet", num_classes=10, width=8)
+    path = str(tmp_path / "v2.npz")
+    save_artifact(model, path, arch="simple_convnet",
+                  arch_kwargs={"num_classes": 10, "width": 8})
+    _downgrade_to_v2(path)
+    loaded = load_artifact(path)
+    assert loaded.manifest["format_version"] == 2
+    assert loaded.scheme_id == "csq"
+    for record in loaded.quantized.values():
+        assert record.scheme == "csq"
+        assert record.dequant is None
+        assert record.dequant_kind == "symmetric"
+
+
+def test_v2_serves_bit_identically_to_v3(tmp_path, rng):
+    """Same CSQ model, v2 and v3 schema: identical logits."""
+    arch_kwargs = {"num_classes": 10, "width": 8}
+    model = frozen_mixed_model("simple_convnet", act_bits=4,
+                               calibration_shape=(2, 3, 10, 10), **arch_kwargs)
+    v3_path = str(tmp_path / "v3.npz")
+    v2_path = str(tmp_path / "v2.npz")
+    save_artifact(model, v3_path, arch="simple_convnet", arch_kwargs=arch_kwargs)
+    save_artifact(model, v2_path, arch="simple_convnet", arch_kwargs=arch_kwargs)
+    _downgrade_to_v2(v2_path)
+
+    v3_session = InferenceSession(v3_path)
+    v2_session = InferenceSession(v2_path)
+    assert v3_session.scheme_id == "csq"
+    assert v2_session.activation_mode == v3_session.activation_mode
+    x = rng.standard_normal((4, 3, 10, 10)).astype(np.float32)
+    np.testing.assert_array_equal(v2_session.run(x), v3_session.run(x))
+
+
+def test_unknown_scheme_rejected_with_typed_error_naming_it(tmp_path):
+    model = frozen_mixed_model("simple_convnet", num_classes=10, width=8)
+    path = str(tmp_path / "exotic.npz")
+    save_artifact(model, path, arch="simple_convnet",
+                  arch_kwargs={"num_classes": 10, "width": 8})
+
+    def mutate(manifest):
+        manifest["scheme"] = "vector-palette-v9"
+
+    _rewrite_manifest(path, mutate)
+    with pytest.raises(UnknownSchemeError, match="vector-palette-v9"):
+        load_artifact(path)
+    # UnknownSchemeError is an ArtifactError: existing catch-sites keep working.
+    with pytest.raises(ArtifactError):
         load_artifact(path)

@@ -1,0 +1,146 @@
+"""Grouped/depthwise convolution: forward reference + gradcheck matrix.
+
+Mirrors the (kernel, stride, padding) grid of
+``tests/autograd/test_conv_gradcheck.py`` with the two extra axes grouped
+convolution introduces: the group count and the channel multiplier
+(``out_channels = multiplier * groups``).  The forward reference is the
+group-sliced composition of the ungrouped op, so the grouped fast path can
+never drift from the dense definition.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import gradcheck, ops
+from repro.autograd.tensor import Tensor
+
+
+def _randn64(*shape, seed=0):
+    return np.random.default_rng(seed).standard_normal(shape)
+
+
+def _reference_grouped_conv(x, w, b, stride, padding, groups):
+    """Grouped conv as a concat of per-group ungrouped convs (numpy arrays)."""
+    cin_g = x.shape[1] // groups
+    cout_g = w.shape[0] // groups
+    parts = []
+    for g in range(groups):
+        xg = Tensor(x[:, g * cin_g:(g + 1) * cin_g])
+        wg = Tensor(w[g * cout_g:(g + 1) * cout_g])
+        bg = Tensor(b[g * cout_g:(g + 1) * cout_g]) if b is not None else None
+        parts.append(ops.conv2d(xg, wg, bg, stride=stride, padding=padding).data)
+    return np.concatenate(parts, axis=1)
+
+
+class TestGroupedConvForward:
+    @pytest.mark.parametrize("groups,multiplier", [(2, 1), (2, 2), (3, 1), (6, 1), (6, 2)])
+    def test_matches_group_sliced_reference(self, groups, multiplier):
+        x = _randn64(2, 6, 7, 7, seed=10)
+        w = _randn64(groups * multiplier, 6 // groups, 3, 3, seed=11)
+        b = _randn64(groups * multiplier, seed=12)
+        out = ops.conv2d(Tensor(x), Tensor(w), Tensor(b), stride=1, padding=1, groups=groups)
+        expected = _reference_grouped_conv(x, w, b, 1, 1, groups)
+        np.testing.assert_allclose(out.data, expected, rtol=1e-12, atol=1e-12)
+
+    def test_depthwise_equals_per_channel_correlation(self):
+        # groups == C_in with multiplier 1: each output channel sees exactly
+        # one input channel.
+        x = _randn64(1, 4, 5, 5, seed=13)
+        w = _randn64(4, 1, 3, 3, seed=14)
+        out = ops.conv2d(Tensor(x), Tensor(w), stride=1, padding=1, groups=4)
+        for c in range(4):
+            single = ops.conv2d(
+                Tensor(x[:, c:c + 1]), Tensor(w[c:c + 1]), stride=1, padding=1
+            )
+            np.testing.assert_allclose(out.data[:, c], single.data[:, 0], atol=1e-12)
+
+    @pytest.mark.parametrize("bad_groups", [0, -1])
+    def test_rejects_nonpositive_groups(self, bad_groups):
+        x = Tensor(_randn64(1, 4, 5, 5, seed=15))
+        w = Tensor(_randn64(4, 1, 3, 3, seed=16))
+        with pytest.raises(ValueError, match="groups"):
+            ops.conv2d(x, w, groups=bad_groups)
+
+    def test_rejects_indivisible_channels(self):
+        x = Tensor(_randn64(1, 6, 5, 5, seed=17))
+        w = Tensor(_randn64(4, 2, 3, 3, seed=18))
+        with pytest.raises(ValueError, match="groups"):
+            ops.conv2d(x, w, groups=4)
+
+    def test_rejects_weight_group_mismatch(self):
+        x = Tensor(_randn64(1, 6, 5, 5, seed=19))
+        w = Tensor(_randn64(6, 6, 3, 3, seed=20))  # dense weight, grouped call
+        with pytest.raises(ValueError, match="channel mismatch"):
+            ops.conv2d(x, w, groups=2)
+
+
+class TestGroupedConvGradcheck:
+    @pytest.mark.parametrize("kernel,stride,padding", [
+        (1, 1, 0),
+        (2, 1, 0),
+        (3, 1, 1),
+        (3, 2, 1),
+        (2, 2, 0),
+        (3, 1, 0),
+        (3, 2, 0),
+        (1, 2, 0),
+        (3, 1, 2),
+    ])
+    def test_grouped_input_weight_bias_grads(self, kernel, stride, padding):
+        groups = 2
+        x = Tensor(_randn64(2, 4, 7, 7, seed=21), requires_grad=True)
+        w = Tensor(_randn64(6, 2, kernel, kernel, seed=22), requires_grad=True)
+        b = Tensor(_randn64(6, seed=23), requires_grad=True)
+        assert gradcheck(
+            lambda x, w, b: ops.conv2d(
+                x, w, b, stride=stride, padding=padding, groups=groups
+            ),
+            [x, w, b],
+        )
+
+    @pytest.mark.parametrize("multiplier", [1, 2, 3])
+    def test_depthwise_channel_multiplier_grads(self, multiplier):
+        # groups == C_in: the depthwise case MobileNet blocks rely on.
+        x = Tensor(_randn64(2, 3, 6, 6, seed=24), requires_grad=True)
+        w = Tensor(_randn64(3 * multiplier, 1, 3, 3, seed=25), requires_grad=True)
+        assert gradcheck(
+            lambda x, w: ops.conv2d(x, w, stride=1, padding=1, groups=3), [x, w]
+        )
+
+    @pytest.mark.parametrize("stride,padding", [(1, 1), (2, 1), (2, 0)])
+    def test_depthwise_stride_padding_grads(self, stride, padding):
+        x = Tensor(_randn64(1, 4, 7, 7, seed=26), requires_grad=True)
+        w = Tensor(_randn64(4, 1, 3, 3, seed=27), requires_grad=True)
+        b = Tensor(_randn64(4, seed=28), requires_grad=True)
+        assert gradcheck(
+            lambda x, w, b: ops.conv2d(
+                x, w, b, stride=stride, padding=padding, groups=4
+            ),
+            [x, w, b],
+        )
+
+
+class TestGroupedConvModule:
+    def test_module_weight_shape_and_forward(self):
+        conv = nn.Conv2d(6, 4, 3, padding=1, groups=2)
+        assert conv.weight.shape == (4, 3, 3, 3)
+        x = Tensor(_randn64(2, 6, 5, 5, seed=29).astype(np.float32))
+        out = conv(x)
+        assert out.shape == (2, 4, 5, 5)
+        expected = _reference_grouped_conv(
+            x.data, conv.weight.data, conv.bias.data, 1, 1, 2
+        )
+        np.testing.assert_allclose(out.data, expected, rtol=1e-5, atol=1e-6)
+
+    def test_module_rejects_indivisible_groups(self):
+        with pytest.raises(ValueError, match="groups"):
+            nn.Conv2d(5, 4, 3, groups=2)
+
+    def test_module_backward_accumulates_grads(self):
+        conv = nn.Conv2d(4, 4, 3, padding=1, groups=4)
+        x = Tensor(_randn64(1, 4, 5, 5, seed=30).astype(np.float32), requires_grad=True)
+        conv(x).sum().backward()
+        assert conv.weight.grad is not None
+        assert conv.weight.grad.shape == conv.weight.shape
+        assert x.grad is not None
